@@ -1,0 +1,107 @@
+// Package netoblivious is a Go implementation of the network-oblivious
+// algorithms framework of Bilardi, Pietracaprina, Pucci, Scquizzato and
+// Silvestri ("Network-Oblivious Algorithms", IPDPS 2007; J.ACM 63(1),
+// 2016).
+//
+// A network-oblivious algorithm is written once, against a machine whose
+// only parameter is the input size — the specification model M(v(n)) —
+// and then runs unchanged, yet efficiently, on machines with any number
+// of processors and any bandwidth/latency structure.  The framework's
+// three models and every metric in the paper are implemented executably:
+//
+//   - internal/core — the specification model M(v): goroutine-per-VP
+//     superstep runtime with labeled hierarchical barriers and exact
+//     communication-trace recording at every folding;
+//   - internal/eval — the evaluation model M(p, σ): communication
+//     complexity H(n,p,σ) (Eq. 1), wiseness α (Def. 3.2), fullness γ
+//     (Def. 5.2), the Lemma 3.1 folding inequality;
+//   - internal/dbsp — the execution model D-BSP(p, g, ℓ): communication
+//     time (Eq. 2), network parameter presets, the Section 5
+//     ascend–descend protocol;
+//   - internal/theory — lower bounds, the optimality theorem (Thm 3.4)
+//     machinery and the broadcast impossibility bound (Thm 4.16);
+//   - algorithm packages: matmul, fft, colsort, stencil, broadcast,
+//     prefix — the paper's Section 4 algorithms, executed for real and
+//     verified against sequential references;
+//   - internal/harness + cmd/nobl — the experiment suite regenerating
+//     every theorem's bound as a measured table (see EXPERIMENTS.md).
+//
+// This root package re-exports the types a downstream user needs to write
+// and analyze their own network-oblivious algorithms without importing
+// internal paths directly in examples or docs.  See examples/quickstart
+// for a tour.
+package netoblivious
+
+import (
+	"netoblivious/internal/core"
+	"netoblivious/internal/dbsp"
+	"netoblivious/internal/eval"
+)
+
+// VP is a virtual processor handle of the specification model M(v).
+type VP[P any] = core.VP[P]
+
+// Message is a delivered message.
+type Message[P any] = core.Message[P]
+
+// Program is the code run by every virtual processor.
+type Program[P any] = core.Program[P]
+
+// Trace is the communication record of a run, sufficient to evaluate the
+// algorithm on every folding, every σ, and every D-BSP machine.
+type Trace = core.Trace
+
+// RunOptions configures a specification-model run.
+type RunOptions = core.Options
+
+// Folding is the (F_i, S_i) view of an algorithm folded on p processors.
+type Folding = eval.Folding
+
+// DBSP is a D-BSP(p, g, ℓ) parameter assignment.
+type DBSP = dbsp.Params
+
+// Run executes prog on M(v) and records its communication trace.
+func Run[P any](v int, prog Program[P]) (*Trace, error) {
+	return core.Run(v, prog)
+}
+
+// RunOpt is Run with options (message recording).
+func RunOpt[P any](v int, prog Program[P], opts RunOptions) (*Trace, error) {
+	return core.RunOpt(v, prog, opts)
+}
+
+// WisenessDummies applies the paper's dummy-message trick to the current
+// superstep (Section 4.1), making algorithms (Θ(1), v)-wise.
+func WisenessDummies[P any](vp *VP[P], label, count int) {
+	core.WisenessDummies(vp, label, count)
+}
+
+// Fold computes the folding of a trace onto p processors.
+func Fold(tr *Trace, p int) Folding { return eval.Fold(tr, p) }
+
+// H returns the communication complexity H(n, p, σ) on the evaluation
+// model M(p, σ) (Equation 1 of the paper).
+func H(tr *Trace, p int, sigma float64) float64 { return eval.H(tr, p, sigma) }
+
+// Wiseness returns the measured wiseness α of Definition 3.2.
+func Wiseness(tr *Trace, p int) float64 { return eval.Wiseness(tr, p) }
+
+// Fullness returns the measured fullness γ of Definition 5.2.
+func Fullness(tr *Trace, p int) float64 { return eval.Fullness(tr, p) }
+
+// CommTime returns the communication time D(n, p, g, ℓ) on a D-BSP
+// machine (Equation 2 of the paper).
+func CommTime(tr *Trace, machine DBSP) float64 { return dbsp.CommTime(tr, machine) }
+
+// Mesh returns D-BSP parameters modeling a d-dimensional mesh of p
+// processors; Hypercube and FatTree model the other standard networks.
+func Mesh(d, p int) DBSP { return dbsp.Mesh(d, p) }
+
+// Hypercube returns D-BSP parameters modeling a binary hypercube.
+func Hypercube(p int) DBSP { return dbsp.Hypercube(p) }
+
+// FatTree returns D-BSP parameters modeling an area-universal fat-tree.
+func FatTree(p int) DBSP { return dbsp.FatTree(p) }
+
+// Uniform returns flat D-BSP parameters (a plain BSP machine).
+func Uniform(p int, g, l float64) DBSP { return dbsp.Uniform(p, g, l) }

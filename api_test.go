@@ -1,0 +1,65 @@
+package netoblivious_test
+
+import (
+	"testing"
+
+	nob "netoblivious"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: write an
+// algorithm, run it, evaluate it on M(p,σ) and on D-BSP machines.
+func TestFacadeEndToEnd(t *testing.T) {
+	const v = 64
+	tr, err := nob.Run(v, func(vp *nob.VP[int]) {
+		vp.Send(v-1-vp.ID(), vp.ID())
+		nob.WisenessDummies(vp, 0, 1)
+		vp.Sync(0)
+		if m, ok := vp.Receive(); !ok || m != v-1-vp.ID() {
+			panic("wrong payload")
+		}
+		vp.Sync(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumSupersteps() != 2 {
+		t.Fatalf("supersteps = %d", tr.NumSupersteps())
+	}
+	for _, p := range []int{2, 8, 64} {
+		f := nob.Fold(tr, p)
+		if f.P != p {
+			t.Errorf("fold p = %d", f.P)
+		}
+		if h := nob.H(tr, p, 1); h <= 0 {
+			t.Errorf("H(%d) = %v", p, h)
+		}
+		if a := nob.Wiseness(tr, p); a != 1 {
+			t.Errorf("α(%d) = %v, want 1 (complement exchange + dummies)", p, a)
+		}
+		if g := nob.Fullness(tr, p); g <= 0 {
+			t.Errorf("γ(%d) = %v", p, g)
+		}
+	}
+	for _, m := range []nob.DBSP{nob.Mesh(1, 16), nob.Mesh(2, 16), nob.Hypercube(16), nob.FatTree(16), nob.Uniform(16, 1, 2)} {
+		if d := nob.CommTime(tr, m); d <= 0 {
+			t.Errorf("%s: D = %v", m.Name, d)
+		}
+		if err := m.Admissible(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+// TestFacadeRecordOption covers RunOpt.
+func TestFacadeRecordOption(t *testing.T) {
+	tr, err := nob.RunOpt(4, func(vp *nob.VP[int]) {
+		vp.Send((vp.ID()+1)%4, 0)
+		vp.Sync(0)
+	}, nob.RunOptions{RecordMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps[0].Pairs) != 4 {
+		t.Errorf("pairs = %d, want 4", len(tr.Steps[0].Pairs))
+	}
+}

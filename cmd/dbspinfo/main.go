@@ -1,0 +1,39 @@
+// Command dbspinfo prints the D-BSP(p, g, ℓ) parameter vectors of the
+// built-in network models and checks their admissibility for the
+// optimality theorem (non-increasing g_i and ℓ_i/g_i).
+//
+// Usage:
+//
+//	dbspinfo -p 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netoblivious/internal/dbsp"
+)
+
+func main() {
+	p := flag.Int("p", 64, "number of processors (power of two)")
+	flag.Parse()
+	if *p < 2 || *p&(*p-1) != 0 {
+		fmt.Fprintf(os.Stderr, "dbspinfo: p must be a power of two >= 2\n")
+		os.Exit(2)
+	}
+	for _, pr := range dbsp.Presets(*p) {
+		fmt.Printf("%s\n", pr.Name)
+		fmt.Printf("  level    cluster   g_i        l_i        l_i/g_i\n")
+		for i := range pr.G {
+			fmt.Printf("  %-8d %-9d %-10.3f %-10.3f %-10.3f\n",
+				i, *p>>uint(i), pr.G[i], pr.L[i], pr.L[i]/pr.G[i])
+		}
+		if err := pr.Admissible(); err != nil {
+			fmt.Printf("  admissible for Theorem 3.4: NO (%v)\n", err)
+		} else {
+			fmt.Printf("  admissible for Theorem 3.4: yes\n")
+		}
+		fmt.Println()
+	}
+}

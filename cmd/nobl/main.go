@@ -1,0 +1,200 @@
+// Command nobl runs the reproduction experiments of the network-oblivious
+// algorithms framework, prints their tables, and records/analyzes
+// communication traces.
+//
+// Usage:
+//
+//	nobl list                     enumerate experiments
+//	nobl run E1 [E3 ...]          run selected experiments
+//	nobl run all                  run the full suite
+//	nobl algorithms               enumerate traceable algorithms
+//	nobl trace <alg> -n N -o F    run an algorithm, write its trace JSON
+//	nobl stat F [-p P] [-sigma σ] analyze a stored trace on M(p,σ) and the
+//	                              network presets
+//
+// Flags:
+//
+//	-quick    use reduced problem sizes
+//	-md       emit GitHub-flavored markdown instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netoblivious/internal/core"
+	"netoblivious/internal/dbsp"
+	"netoblivious/internal/eval"
+	"netoblivious/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	md := flag.Bool("md", false, "emit markdown tables")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-4s %-72s [%s]\n", e.ID, e.Title, e.PaperRef)
+		}
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 || (len(ids) == 1 && strings.EqualFold(ids[0], "all")) {
+			ids = nil
+			for _, e := range harness.Experiments() {
+				ids = append(ids, e.ID)
+			}
+		}
+		cfg := harness.Config{Quick: *quick}
+		for _, id := range ids {
+			e, ok := harness.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nobl: unknown experiment %q (try 'nobl list')\n", id)
+				os.Exit(1)
+			}
+			tables, err := e.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nobl: %s failed: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			for _, t := range tables {
+				if *md {
+					fmt.Println(t.Markdown())
+				} else {
+					fmt.Println(t.Text())
+				}
+			}
+		}
+	case "algorithms":
+		for _, a := range harness.TraceAlgorithms() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+	case "trace":
+		runTrace(args[1:])
+	case "stat":
+		runStat(args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	n := fs.Int("n", 1024, "input size (power of two; matmul needs a square)")
+	out := fs.String("o", "", "output file (default stdout)")
+	name, rest := splitName(args)
+	_ = fs.Parse(rest)
+	if name == "" && fs.NArg() == 1 {
+		name = fs.Arg(0)
+	}
+	if name == "" {
+		fmt.Fprintln(os.Stderr, "nobl trace: need exactly one algorithm name (see 'nobl algorithms')")
+		os.Exit(2)
+	}
+	alg, ok := harness.TraceAlgorithmByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nobl trace: unknown algorithm %q\n", name)
+		os.Exit(1)
+	}
+	tr, err := alg.Run(*n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.EncodeJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "nobl: %s on M(%d): %d supersteps, %d messages\n",
+		alg.Name, tr.V, tr.NumSupersteps(), tr.TotalMessages())
+}
+
+func runStat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	p := fs.Int("p", 0, "fold onto p processors (default: all powers of two)")
+	sigma := fs.Float64("sigma", 0, "latency/synchronization cost σ")
+	name, rest := splitName(args)
+	_ = fs.Parse(rest)
+	if name == "" && fs.NArg() == 1 {
+		name = fs.Arg(0)
+	}
+	if name == "" {
+		fmt.Fprintln(os.Stderr, "nobl stat: need exactly one trace file")
+		os.Exit(2)
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobl stat: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := core.DecodeJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobl stat: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: v=%d, %d supersteps, %d messages\n\n", tr.V, tr.NumSupersteps(), tr.TotalMessages())
+	ps := []int{}
+	if *p != 0 {
+		ps = append(ps, *p)
+	} else {
+		for q := 2; q <= tr.V; q *= 2 {
+			ps = append(ps, q)
+		}
+	}
+	fmt.Printf("%-8s %-14s %-10s %-10s %-12s\n", "p", "H(n,p,σ)", "α", "γ", "supersteps")
+	for _, q := range ps {
+		fl := eval.Fold(tr, q)
+		fmt.Printf("%-8d %-14.0f %-10.3f %-10.3f %-12d\n",
+			q, fl.H(*sigma), eval.Wiseness(tr, q), eval.Fullness(tr, q), fl.Supersteps())
+	}
+	pq := ps[len(ps)-1]
+	fmt.Printf("\ncommunication time D(n,%d,g,ℓ) on the network presets:\n", pq)
+	for _, pr := range dbsp.Presets(pq) {
+		fmt.Printf("  %-20s D = %.0f\n", pr.Name, dbsp.CommTime(tr, pr))
+	}
+}
+
+// splitName peels a leading positional argument off args so subcommand
+// flags may appear before or after it.
+func splitName(args []string) (name string, rest []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `nobl — network-oblivious algorithms experiment runner
+
+usage:
+  nobl [flags] list
+  nobl [flags] run <ID>... | all
+  nobl algorithms
+  nobl trace <alg> [-n N] [-o file]
+  nobl stat <file> [-p P] [-sigma σ]
+
+flags:
+  -quick   reduced problem sizes
+  -md      markdown output
+`)
+}

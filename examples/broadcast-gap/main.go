@@ -1,0 +1,56 @@
+// broadcast-gap: the limits of obliviousness (Section 4.5).  The σ-aware
+// κ-ary broadcast matches the Theorem 4.15 lower bound at every σ, while
+// the network-oblivious binary tree — optimal at σ = O(1) — falls behind
+// by a factor that grows like Theorem 4.16's GAP bound.  No oblivious
+// algorithm can avoid this.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nob "netoblivious"
+	"netoblivious/internal/broadcast"
+	"netoblivious/internal/theory"
+)
+
+func main() {
+	const p = 1 << 10
+
+	tree, err := broadcast.Oblivious(p, 42, broadcast.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	star, err := broadcast.ObliviousFlat(p, 42, broadcast.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range tree.Got {
+		if v != 42 || star.Got[i] != 42 {
+			log.Fatalf("broadcast failed at VP %d", i)
+		}
+	}
+	fmt.Printf("broadcast to %d processors verified (tree and star)\n\n", p)
+
+	fmt.Printf("%-8s %-6s %-12s %-10s %-11s %-12s %-12s %-16s\n",
+		"σ", "κ(σ)", "H aware", "aware/LB", "H tree", "tree/LB", "H star", "Thm4.16 curve")
+	for _, sigma := range []float64{0, 2, 8, 32, 128, 512, 2048, 8192} {
+		aw, err := broadcast.Aware(p, sigma, 42, broadcast.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb := theory.LowerBoundBroadcast(p, sigma)
+		hA := nob.H(aw.Trace, p, sigma)
+		hT := nob.H(tree.Trace, p, sigma)
+		hS := nob.H(star.Trace, p, sigma)
+		fmt.Printf("%-8.0f %-6d %-12.0f %-10.2f %-11.0f %-12.2f %-12.0f %-16.2f\n",
+			sigma, aw.Kappa, hA, hA/lb, hT, hT/lb, hS, theory.GapLowerBound(0, sigma))
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - the σ-aware algorithm re-tunes κ and stays within a constant of the lower bound;")
+	fmt.Println("  - the oblivious tree is optimal at σ=O(1) but its gap grows ~log σ;")
+	fmt.Println("  - the oblivious star only becomes competitive when σ ≳ p;")
+	fmt.Println("  - Theorem 4.16 proves every oblivious algorithm must lose Ω(log σ₂/(log σ₁+log log σ₂))")
+	fmt.Println("    somewhere in [σ₁, σ₂]: obliviousness has a price here, unlike MM/FFT/sorting.")
+}

@@ -1,0 +1,71 @@
+// Quickstart: write a network-oblivious algorithm against M(v(n)), run it
+// once, and evaluate it on every machine of interest — the core loop of
+// the framework.
+//
+// The algorithm below is the binary-doubling reduction: v VPs hold one
+// value each; after log v labeled supersteps VP 0 holds the sum.  It is
+// written with no machine parameter (only the input size), yet the single
+// recorded trace yields its communication complexity H(n, p, σ) on every
+// evaluation machine M(p, σ) and its communication time on every
+// D-BSP(p, g, ℓ).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nob "netoblivious"
+)
+
+func main() {
+	const v = 256
+	xs := make([]int64, v)
+	var want int64
+	for i := range xs {
+		xs[i] = int64(i * i % 97)
+		want += xs[i]
+	}
+
+	var got int64
+	trace, err := nob.Run(v, func(vp *nob.VP[int64]) {
+		val := xs[vp.ID()]
+		// Reduction tree: at round r the machine is split into clusters
+		// of 2^{logV-r} VPs; the upper half of each cluster sends to the
+		// lower half.  The sync label r says exactly how far messages
+		// travel — that is the only "network knowledge" in the program,
+		// and it is topology-free.
+		for r := vp.LogV() - 1; r >= 0; r-- {
+			half := 1 << uint(r)
+			if vp.ID()&half != 0 {
+				vp.Send(vp.ID()&^half, val)
+			}
+			vp.Sync(vp.LogV() - 1 - r)
+			if vp.ID()&half == 0 {
+				if m, ok := vp.Receive(); ok {
+					val += m
+				}
+			}
+		}
+		if vp.ID() == 0 {
+			got = val
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduction over %d VPs: got %d, want %d\n\n", v, got, want)
+
+	fmt.Println("one trace, every machine:")
+	fmt.Printf("%-10s %-8s %-14s %-14s\n", "p", "σ", "H(n,p,σ)", "α wiseness")
+	for _, p := range []int{4, 16, 64, 256} {
+		for _, sigma := range []float64{0, 10} {
+			fmt.Printf("%-10d %-8.0f %-14.0f %-14.3f\n",
+				p, sigma, nob.H(trace, p, sigma), nob.Wiseness(trace, p))
+		}
+	}
+
+	fmt.Println("\ncommunication time D(n,p,g,ℓ) on concrete networks (p=64):")
+	for _, m := range []nob.DBSP{nob.Mesh(1, 64), nob.Mesh(2, 64), nob.Hypercube(64), nob.FatTree(64)} {
+		fmt.Printf("  %-18s D = %.0f\n", m.Name, nob.CommTime(trace, m))
+	}
+}

@@ -1,0 +1,144 @@
+// Package colls provides cluster-scoped collective operations on the
+// specification model M(v): broadcast, reduce, all-reduce, all-gather and
+// all-to-all within a label-cluster.  They are the building blocks the
+// Section 4 algorithms hand-roll (quadrant replication in matrix
+// multiplication, gather-based base cases in Columnsort) and the
+// "prefix-like computations" of the ascend–descend protocol (Section 5),
+// packaged for downstream users of the library.
+//
+// Every collective must be invoked by all VPs of the machine in the same
+// program position (like any superstep); each VP participates in the
+// collective of its own label-cluster.  The label discipline follows the
+// model: a collective within label-clusters uses supersteps labeled
+// label, label+1, ..., so messages never leave the cluster.
+package colls
+
+import (
+	"netoblivious/internal/core"
+)
+
+// Broadcast distributes the value held by the cluster's first VP to every
+// VP of the label-cluster using binary doubling: log(cluster size)
+// supersteps of degree 1 with ascending labels — the network-oblivious
+// κ=2 broadcast of Section 4.5 applied per cluster.  Returns the
+// broadcast value on every member.
+func Broadcast[P any](vp *core.VP[P], label int, val P) P {
+	size := vp.ClusterSize(label)
+	base := vp.ClusterFirst(label)
+	logV := vp.LogV()
+	pos := vp.ID() - base
+	have := pos == 0
+	for d := size; d > 1; d /= 2 {
+		lab := logV - core.Log2(d)
+		if lab < label {
+			lab = label
+		}
+		if have && pos%d == 0 {
+			vp.Send(base+pos+d/2, val)
+		}
+		vp.Sync(lab)
+		if !have && pos%(d/2) == 0 {
+			if m, ok := vp.Receive(); ok {
+				val = m
+				have = true
+			}
+		}
+	}
+	return val
+}
+
+// Reduce combines every cluster member's value with op, leaving the result
+// on the cluster's first VP (returned there; other VPs receive their
+// partial).  log(cluster size) supersteps of degree 1, descending tree.
+func Reduce[P any](vp *core.VP[P], label int, val P, op func(a, b P) P) P {
+	size := vp.ClusterSize(label)
+	base := vp.ClusterFirst(label)
+	logV := vp.LogV()
+	pos := vp.ID() - base
+	for d := 2; d <= size; d *= 2 {
+		lab := logV - core.Log2(d)
+		if lab < label {
+			lab = label
+		}
+		if pos%d == d/2 {
+			vp.Send(base+pos-d/2, val)
+		}
+		vp.Sync(lab)
+		if pos%d == 0 {
+			if m, ok := vp.Receive(); ok {
+				val = op(val, m)
+			}
+		}
+	}
+	return val
+}
+
+// AllReduce combines every cluster member's value and returns the result
+// on all of them, via a butterfly: log(cluster size) supersteps of
+// degree 1.  op must be associative and commutative.
+func AllReduce[P any](vp *core.VP[P], label int, val P, op func(a, b P) P) P {
+	size := vp.ClusterSize(label)
+	logV := vp.LogV()
+	for d := size / 2; d >= 1; d /= 2 {
+		// Exchange with the partner differing in the bit of weight d;
+		// partners share all bits above, so the label is logV-log2(2d).
+		lab := logV - core.Log2(2*d)
+		if lab < label {
+			lab = label
+		}
+		partner := vp.ID() ^ d
+		vp.Send(partner, val)
+		vp.Sync(lab)
+		m, ok := vp.Receive()
+		if !ok {
+			panic("colls: AllReduce exchange delivered no value")
+		}
+		val = op(val, m)
+	}
+	return val
+}
+
+// AllGather returns every cluster member's value, indexed by cluster
+// position, using one superstep of degree cluster-size−1 (the direct
+// algorithm; for m members this is an (m−1)-relation).
+func AllGather[P any](vp *core.VP[P], label int, val P) []P {
+	size := vp.ClusterSize(label)
+	base := vp.ClusterFirst(label)
+	pos := vp.ID() - base
+	for t := 0; t < size; t++ {
+		if t != pos {
+			vp.Send(base+t, val)
+		}
+	}
+	vp.Sync(label)
+	out := make([]P, size)
+	out[pos] = val
+	for _, msg := range vp.Inbox() {
+		out[msg.Src-base] = msg.Payload
+	}
+	return out
+}
+
+// AllToAll delivers vals[t] to cluster member t and returns the values
+// received, indexed by sender position: one superstep forming a
+// (cluster size−1)-relation.  len(vals) must equal the cluster size.
+func AllToAll[P any](vp *core.VP[P], label int, vals []P) []P {
+	size := vp.ClusterSize(label)
+	base := vp.ClusterFirst(label)
+	pos := vp.ID() - base
+	if len(vals) != size {
+		panic("colls: AllToAll needs one value per cluster member")
+	}
+	for t := 0; t < size; t++ {
+		if t != pos {
+			vp.Send(base+t, vals[t])
+		}
+	}
+	vp.Sync(label)
+	out := make([]P, size)
+	out[pos] = vals[pos]
+	for _, msg := range vp.Inbox() {
+		out[msg.Src-base] = msg.Payload
+	}
+	return out
+}

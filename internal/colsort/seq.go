@@ -1,0 +1,67 @@
+package colsort
+
+import "sort"
+
+// SeqColumnsort is a sequential mirror of the parallel algorithm: the same
+// shapes, permutations and recursion, executed on a slice.  It exists so
+// the permutation logic can be validated exhaustively (0-1 principle)
+// without spinning up machines, and so the parallel runs can be checked
+// step-for-step against it.
+func SeqColumnsort(keys []int64) []int64 {
+	n := len(keys)
+	if n&(n-1) != 0 || n == 0 {
+		panic("colsort: SeqColumnsort needs a power-of-two length")
+	}
+	a := make([]kv, n)
+	for i, k := range keys {
+		a[i] = kv{key: k, tag: int32(i)}
+	}
+	seqRec(a, 8)
+	out := make([]int64, n)
+	for i, e := range a {
+		out[i] = e.key
+	}
+	return out
+}
+
+func seqRec(a []kv, baseSize int) {
+	size := len(a)
+	if size == 1 {
+		return
+	}
+	if size <= baseSize {
+		sort.Slice(a, func(i, j int) bool { return a[i].less(a[j]) })
+		return
+	}
+	r, s := Shape(size)
+	columns := func() {
+		for c := 0; c < s; c++ {
+			seqRec(a[c*r:(c+1)*r], baseSize)
+		}
+	}
+	apply := func(perm func(pos int) int) {
+		b := make([]kv, size)
+		for pos, e := range a {
+			b[perm(pos)] = e
+		}
+		copy(a, b)
+	}
+
+	columns()                                              // 1
+	apply(func(pos int) int { return pos%s*r + pos/s })    // 2: transpose
+	columns()                                              // 3
+	apply(func(pos int) int { return pos%r*s + pos/r })    // 4: untranspose
+	columns()                                              // 5
+	apply(func(pos int) int { return (pos + r/2) % size }) // 6: shift
+	columns()                                              // 7
+	apply(func(pos int) int {                              // 8: inverse shift with column-0 wrap
+		switch {
+		case pos >= r:
+			return pos - r/2
+		case pos < r/2:
+			return pos
+		default:
+			return size - r + pos
+		}
+	})
+}

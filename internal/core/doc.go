@@ -1,0 +1,41 @@
+// Package core implements the specification model M(v) of the
+// network-oblivious framework of Bilardi, Pietracaprina, Pucci, Scquizzato
+// and Silvestri ("Network-Oblivious Algorithms", J.ACM 63(1), 2016;
+// preliminary version in IPDPS 2007).
+//
+// An M(v) machine consists of v processing elements (virtual processors,
+// VPs), each with unbounded local memory, communicating in labeled
+// supersteps.  A VP executes ordinary Go code plus three primitives:
+//
+//   - Send(dst, payload): stage a constant-size message for VP dst;
+//   - Receive() / Inbox(): read the messages delivered at the last barrier;
+//   - Sync(i): barrier-synchronize the i-cluster (the v/2^i VPs whose
+//     indices share the i most significant bits with the caller) and
+//     deliver the messages staged during the superstep.
+//
+// A superstep terminated by Sync(i) is an i-superstep; during it a VP may
+// only send messages to VPs in its own i-cluster.  The runtime enforces
+// the two restrictions the paper places on the algorithm class:
+//
+//   - all VPs execute the same sequence of superstep labels (staticity of
+//     the label trace), and
+//   - every message stays inside the cluster of the terminating sync.
+//
+// Violations abort the run with a descriptive error.
+//
+// While the algorithm runs, the machine records a Trace: for every
+// superstep s and every folding of M(v) onto M(2^j) (the paper's mechanism
+// for executing an algorithm on fewer processors, with VP blocks of size
+// v/2^j mapped to each processor), the degree h_s(n, 2^j) of the h-relation
+// the superstep induces.  All the metrics of the framework — communication
+// complexity H(n,p,σ) on the evaluation model M(p,σ), communication time
+// D(n,p,g,ℓ) on the execution model D-BSP(p,g,ℓ), wiseness α (Def. 3.2)
+// and fullness γ (Def. 5.2) — are exact functions of the Trace and are
+// computed by the companion packages internal/eval and internal/dbsp.
+//
+// Each VP runs on its own goroutine; Sync parks the goroutine on the
+// barrier of its cluster, so different clusters may proceed through their
+// (identical) label sequences at different speeds, exactly as the model
+// allows.  Message delivery is deterministic: the messages a VP finds in
+// its inbox are ordered by (source VP, send order).
+package core

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceDTO is the serialized form of a Trace.
+type traceDTO struct {
+	V     int       `json:"v"`
+	LogV  int       `json:"log_v"`
+	Steps []StepRec `json:"steps"`
+}
+
+// stepDTO mirrors StepRec for encoding (kept implicit: StepRec's fields
+// are exported and stable).
+
+// EncodeJSON writes the trace as JSON, allowing runs to be archived and
+// re-analyzed (folded, costed on new machines) without re-executing the
+// algorithm.
+func (t *Trace) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceDTO{V: t.V, LogV: t.LogV, Steps: t.Steps})
+}
+
+// DecodeJSON reads a trace written by EncodeJSON and validates its
+// structural invariants.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var dto traceDTO
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: decoding trace: %w", err)
+	}
+	if dto.V < 1 || dto.V&(dto.V-1) != 0 {
+		return nil, fmt.Errorf("core: trace has invalid v=%d", dto.V)
+	}
+	if dto.LogV != Log2(dto.V) {
+		return nil, fmt.Errorf("core: trace log_v=%d inconsistent with v=%d", dto.LogV, dto.V)
+	}
+	labelBound := dto.LogV
+	if labelBound < 1 {
+		labelBound = 1
+	}
+	for i := range dto.Steps {
+		rec := &dto.Steps[i]
+		if rec.Label < 0 || rec.Label >= labelBound {
+			return nil, fmt.Errorf("core: trace step %d has invalid label %d", i, rec.Label)
+		}
+		if len(rec.Degree) != dto.LogV+1 {
+			return nil, fmt.Errorf("core: trace step %d has %d degree entries, want %d", i, len(rec.Degree), dto.LogV+1)
+		}
+		for j, d := range rec.Degree {
+			if d < 0 {
+				return nil, fmt.Errorf("core: trace step %d degree[%d] negative", i, j)
+			}
+			if j <= rec.Label && d != 0 {
+				return nil, fmt.Errorf("core: trace step %d has nonzero degree at fold %d <= label %d", i, j, rec.Label)
+			}
+		}
+	}
+	return &Trace{V: dto.V, LogV: dto.LogV, Steps: dto.Steps}, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRandomFailureInjection: programs that panic on arbitrary VPs at
+// arbitrary supersteps must surface an error quickly — never hang, never
+// crash the process.
+func TestRandomFailureInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		v := 1 << uint(1+rng.Intn(5))
+		steps := 1 + rng.Intn(5)
+		failVP := rng.Intn(v)
+		failStep := rng.Intn(steps)
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(v, func(vp *VP[int]) {
+				for s := 0; s < steps; s++ {
+					if vp.ID() == failVP && s == failStep {
+						panic(fmt.Sprintf("injected-%d", trial))
+					}
+					vp.Send(0, 1)
+					vp.Sync(0)
+				}
+			})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "injected") {
+				t.Fatalf("trial %d: want injected panic error, got %v", trial, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("trial %d: run hung after injected failure", trial)
+		}
+	}
+}
+
+// TestMismatchedLabelsNeverHang: arbitrary divergent label sequences are
+// detected (either label mismatch, superstep mismatch, or deadlock), never
+// a hang.
+func TestMismatchedLabelsNeverHang(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 40; trial++ {
+		v := 1 << uint(2+rng.Intn(3))
+		labelBound := Log2(v)
+		// Give each VP a randomly perturbed label sequence: mostly a
+		// common schedule, with one VP deviating.
+		common := make([]int, 3)
+		for i := range common {
+			common[i] = rng.Intn(labelBound)
+		}
+		deviant := rng.Intn(v)
+		devStep := rng.Intn(len(common))
+		devLabel := rng.Intn(labelBound)
+		if devLabel == common[devStep] {
+			devLabel = (devLabel + 1) % labelBound
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(v, func(vp *VP[int]) {
+				for s, lab := range common {
+					if vp.ID() == deviant && s == devStep {
+						lab = devLabel
+					}
+					vp.Sync(lab)
+				}
+			})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatalf("trial %d: divergent labels not detected", trial)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("trial %d: divergent labels caused a hang", trial)
+		}
+	}
+}
+
+// TestManyVPsStress: a larger machine with nontrivial traffic finishes
+// correctly (exercises the barrier tree under contention).
+func TestManyVPsStress(t *testing.T) {
+	const v = 1 << 12
+	sum := make([]int64, v)
+	tr, err := Run(v, func(vp *VP[int64]) {
+		// Three rounds of neighbor exchange at different levels.
+		var acc int64
+		for _, lab := range []int{LogOfV(v) - 1, 2, 0} {
+			partner := vp.ID() ^ (v >> uint(lab+1))
+			vp.Send(partner, int64(vp.ID()))
+			vp.Sync(lab)
+			if m, ok := vp.Receive(); ok {
+				acc += m
+			}
+		}
+		sum[vp.ID()] = acc
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumSupersteps() != 3 {
+		t.Fatalf("supersteps = %d", tr.NumSupersteps())
+	}
+	for id, s := range sum {
+		want := int64(id^(v>>uint(LogOfV(v)))) + int64(id^(v>>3)) + int64(id^(v>>1))
+		if s != want {
+			t.Fatalf("VP %d sum = %d, want %d", id, s, want)
+		}
+	}
+}
+
+// LogOfV is a test helper mirroring Log2 for readability.
+func LogOfV(v int) int { return Log2(v) }

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// StepRec holds the communication metrics of a single superstep, recorded
+// once per run and valid for every folding of the algorithm.
+type StepRec struct {
+	// Label is the label of the sync terminating the superstep: the
+	// superstep is a Label-superstep and its messages stay within
+	// Label-clusters.
+	Label int
+
+	// Degree[j], for 1 <= j <= log2(v), is h_s(n, 2^j): the degree of the
+	// h-relation this superstep induces when the algorithm is folded onto
+	// a machine with 2^j processors (each processor simulating a block of
+	// v/2^j consecutively numbered VPs).  Only messages crossing a block
+	// boundary count; the degree of a block is max(messages sent,
+	// messages received).  Degree[0] is always 0 (a single processor
+	// exchanges no messages).  For j <= Label the entry is 0 because an
+	// i-superstep is local on machines with at most 2^i processors.
+	Degree []int64
+
+	// Messages is the total number of messages (including dummy messages
+	// and self-messages) exchanged in the superstep across the machine.
+	Messages int64
+
+	// Pairs lists the (src, dst) of every message of the superstep, in no
+	// particular order.  Populated only under Options.RecordMessages.
+	Pairs [][2]int32
+}
+
+// Trace is the complete communication record of one run of an algorithm on
+// M(v).  For static algorithms (the class covered by the paper's optimality
+// theorem) the Trace depends only on the input size, so a single run
+// characterizes the algorithm's communication for every folding, every σ
+// and every D-BSP parameter vector.
+type Trace struct {
+	// V is the number of virtual processors of the specification machine.
+	V int
+	// LogV is log2(V) (0 when V == 1).
+	LogV int
+	// Steps holds one record per superstep, in superstep order.
+	Steps []StepRec
+
+	mu sync.Mutex
+}
+
+func newTrace(v, logV int) *Trace {
+	return &Trace{V: v, LogV: logV}
+}
+
+// merge folds the metrics of one cluster's barrier completion into the
+// global per-superstep record.  levelMax is indexed by j-label-1 for
+// j in (label, logV].
+func (t *Trace) merge(step, label int, levelMax []int64, msgs int64, pairs [][2]int32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.Steps) <= step {
+		t.Steps = append(t.Steps, StepRec{Label: -1, Degree: make([]int64, t.LogV+1)})
+	}
+	rec := &t.Steps[step]
+	if rec.Label == -1 {
+		rec.Label = label
+	} else if rec.Label != label {
+		return fmt.Errorf("core: superstep %d has mismatched sync labels %d and %d across clusters; network-oblivious algorithms must use the same label sequence on every VP", step, rec.Label, label)
+	}
+	for jj, v := range levelMax {
+		j := label + 1 + jj
+		if v > rec.Degree[j] {
+			rec.Degree[j] = v
+		}
+	}
+	rec.Messages += msgs
+	if pairs != nil {
+		rec.Pairs = append(rec.Pairs, pairs...)
+	}
+	return nil
+}
+
+// NumSupersteps returns the number of supersteps executed.
+func (t *Trace) NumSupersteps() int { return len(t.Steps) }
+
+// TotalMessages returns the total number of messages exchanged during the
+// run, including dummy messages.
+func (t *Trace) TotalMessages() int64 {
+	var tot int64
+	for i := range t.Steps {
+		tot += t.Steps[i].Messages
+	}
+	return tot
+}
+
+// LabelBound returns the exclusive upper bound on superstep labels,
+// max{1, log2 V} per the paper's log convention.
+func (t *Trace) LabelBound() int {
+	if t.LogV < 1 {
+		return 1
+	}
+	return t.LogV
+}
+
+// S returns the vector S_i(n), for 0 <= i < LabelBound(): the number of
+// i-supersteps executed by the algorithm.
+func (t *Trace) S() []int64 {
+	s := make([]int64, t.LabelBound())
+	for i := range t.Steps {
+		s[t.Steps[i].Label]++
+	}
+	return s
+}
+
+// F returns the vector F_i(n, p), for 0 <= i < log2(p): the cumulative
+// degree of all i-supersteps when the algorithm is folded on p processors
+// (Section 2 of the paper).  p must be a power of two with 1 < p <= V.
+func (t *Trace) F(p int) []int64 {
+	lp := logOf(p)
+	if lp < 1 || lp > t.LogV {
+		panic(fmt.Sprintf("core: Trace.F: p=%d out of range for v=%d", p, t.V))
+	}
+	f := make([]int64, lp)
+	for i := range t.Steps {
+		rec := &t.Steps[i]
+		if rec.Label < lp {
+			f[rec.Label] += rec.Degree[lp]
+		}
+	}
+	return f
+}
+
+// logOf returns log2(p) for a positive power of two, or -1 otherwise.
+func logOf(p int) int {
+	if p <= 0 || p&(p-1) != 0 {
+		return -1
+	}
+	l := 0
+	for 1<<uint(l) < p {
+		l++
+	}
+	return l
+}
+
+// Log2 returns log2(p) for a positive power of two and panics otherwise.
+// It is exported for use by the metric packages.
+func Log2(p int) int {
+	l := logOf(p)
+	if l < 0 {
+		panic(fmt.Sprintf("core: %d is not a positive power of two", p))
+	}
+	return l
+}

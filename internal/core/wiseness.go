@@ -1,0 +1,23 @@
+package core
+
+// WisenessDummies implements the paper's dummy-message trick (Section 4.1):
+// in a label-superstep, every VP j with j < v/2^{label+1} sends count dummy
+// messages to VP j + v/2^{label+1}.  The dummies guarantee that at least
+// one (label+1)-cluster boundary carries degree-count traffic, making the
+// enclosing algorithm (Θ(1), v)-wise without affecting its asymptotic
+// communication complexity or its output.
+//
+// Call it once per superstep, before the terminating Sync.
+func WisenessDummies[P any](vp *VP[P], label, count int) {
+	v := vp.V()
+	if v < 2 {
+		return
+	}
+	half := v >> uint(label+1)
+	if half == 0 || vp.ID() >= half {
+		return
+	}
+	for k := 0; k < count; k++ {
+		vp.SendDummy(vp.ID() + half)
+	}
+}

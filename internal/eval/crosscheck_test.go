@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"netoblivious/internal/colsort"
+	"netoblivious/internal/core"
+	"netoblivious/internal/matmul"
+)
+
+// recomputeF derives F_i(n, p) from the raw recorded message pairs,
+// independently of the runtime's incremental degree accounting.
+func recomputeF(tr *core.Trace, p int) []int64 {
+	lp := core.Log2(p)
+	shift := uint(tr.LogV - lp)
+	f := make([]int64, lp)
+	for si := range tr.Steps {
+		rec := &tr.Steps[si]
+		if rec.Label >= lp {
+			continue
+		}
+		sent := map[int32]int64{}
+		recv := map[int32]int64{}
+		for _, pr := range rec.Pairs {
+			sb, db := pr[0]>>shift, pr[1]>>shift
+			if sb != db {
+				sent[sb]++
+				recv[db]++
+			}
+		}
+		var h int64
+		for _, c := range sent {
+			if c > h {
+				h = c
+			}
+		}
+		for _, c := range recv {
+			if c > h {
+				h = c
+			}
+		}
+		f[rec.Label] += h
+	}
+	return f
+}
+
+// TestMetricsCrossValidation: on full algorithm runs, every folded metric
+// derived from raw pairs matches the runtime's degree tables exactly.
+func TestMetricsCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	s := 16
+	a := make([]int64, s*s)
+	b := make([]int64, s*s)
+	for i := range a {
+		a[i], b[i] = int64(rng.Intn(50)), int64(rng.Intn(50))
+	}
+	mm, err := matmul.Multiply(s, a, b, matmul.Options{Wise: true, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]int64, 256)
+	for i := range keys {
+		keys[i] = rng.Int63()
+	}
+	st, err := colsort.Sort(keys, colsort.Options{Wise: true, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tr := range map[string]*core.Trace{"matmul": mm.Trace, "sort": st.Trace} {
+		for p := 2; p <= tr.V; p *= 2 {
+			want := recomputeF(tr, p)
+			got := tr.F(p)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s: F_%d(%d) = %d, brute force says %d", name, i, p, got[i], want[i])
+				}
+			}
+		}
+	}
+}

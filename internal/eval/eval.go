@@ -1,0 +1,208 @@
+// Package eval implements the evaluation model M(p, σ) of the
+// network-oblivious framework (Section 2 of Bilardi et al., "Network-
+// Oblivious Algorithms", J.ACM 2016) and the communication metrics derived
+// from a specification-model trace: communication complexity H(n, p, σ),
+// wiseness α (Definition 3.2) and fullness γ (Definition 5.2).
+//
+// The evaluation model is a BSP with bandwidth parameter g = 1 and
+// latency/synchronization parameter σ: the cost of a superstep of degree h
+// is h + σ, regardless of its label.  A network-oblivious algorithm
+// specified on M(v(n)) is evaluated on M(p, σ), p <= v(n), through the
+// folding mechanism; all quantities here are exact functions of the
+// recorded core.Trace.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"netoblivious/internal/core"
+)
+
+// Folding is the view of an M(v) algorithm folded onto p processors: the
+// per-label superstep counts S_i(n) and cumulative degrees F_i(n, p) that
+// the framework's two cost measures are built from.
+type Folding struct {
+	// P is the number of processors of the folded machine (a power of
+	// two, 1 < P <= v).
+	P int
+	// LogP is log2(P).
+	LogP int
+	// F[i], 0 <= i < LogP, is the cumulative degree of all i-supersteps
+	// on the folded machine.
+	F []int64
+	// S[i], 0 <= i < LabelBound, is the number of i-supersteps (fold
+	// independent).  Only entries with i < LogP enter the cost measures.
+	S []int64
+}
+
+// Fold computes the folding of a recorded algorithm onto p processors.
+func Fold(tr *core.Trace, p int) Folding {
+	lp := core.Log2(p)
+	if lp < 1 || lp > tr.LogV {
+		panic(fmt.Sprintf("eval: Fold: p=%d invalid for v=%d", p, tr.V))
+	}
+	return Folding{P: p, LogP: lp, F: tr.F(p), S: tr.S()}
+}
+
+// H returns the communication complexity H_A(n, p, σ) of the folded
+// algorithm on the evaluation model M(p, σ) (Equation 1 of the paper):
+//
+//	H = Σ_{i=0}^{log p - 1} (F_i(n, p) + S_i(n)·σ)
+func (f Folding) H(sigma float64) float64 {
+	var msgs, steps int64
+	for i := 0; i < f.LogP; i++ {
+		msgs += f.F[i]
+		if i < len(f.S) {
+			steps += f.S[i]
+		}
+	}
+	return float64(msgs) + float64(steps)*sigma
+}
+
+// Supersteps returns the number of supersteps that involve communication
+// on the folded machine (labels < log p).
+func (f Folding) Supersteps() int64 {
+	var steps int64
+	for i := 0; i < f.LogP && i < len(f.S); i++ {
+		steps += f.S[i]
+	}
+	return steps
+}
+
+// MessageLoad returns Σ_{i<log p} F_i(n,p): the σ-free part of H.
+func (f Folding) MessageLoad() int64 {
+	var msgs int64
+	for i := 0; i < f.LogP; i++ {
+		msgs += f.F[i]
+	}
+	return msgs
+}
+
+// H is a convenience wrapper: the communication complexity of tr folded on
+// M(p, σ).
+func H(tr *core.Trace, p int, sigma float64) float64 {
+	return Fold(tr, p).H(sigma)
+}
+
+// Wiseness returns the largest α such that the recorded algorithm is
+// (α, p)-wise (Definition 3.2):
+//
+//	Σ_{i<j} F_i(n, 2^j)  >=  α · (p/2^j) · Σ_{i<j} F_i(n, p)
+//
+// for every 1 <= j <= log p.  A ratio with zero denominator is vacuous and
+// skipped; if the algorithm exchanges no messages at any fold the result
+// is 1.  The result is in [0, 1]: by Lemma 3.1 the ratio never exceeds 1.
+func Wiseness(tr *core.Trace, p int) float64 {
+	lp := core.Log2(p)
+	if lp < 1 || lp > tr.LogV {
+		panic(fmt.Sprintf("eval: Wiseness: p=%d invalid for v=%d", p, tr.V))
+	}
+	fp := tr.F(p)
+	alpha := 1.0
+	for j := 1; j <= lp; j++ {
+		fj := tr.F(1 << uint(j))
+		var num, den int64
+		for i := 0; i < j; i++ {
+			num += fj[i]
+			den += fp[i]
+		}
+		if den == 0 {
+			continue
+		}
+		ratio := float64(num) * float64(int64(1)<<uint(j)) / (float64(den) * float64(p))
+		if ratio < alpha {
+			alpha = ratio
+		}
+	}
+	return alpha
+}
+
+// Fullness returns the largest γ such that the recorded algorithm is
+// (γ, p)-full (Definition 5.2):
+//
+//	Σ_{i<j} F_i(n, 2^j)  >=  γ · (p/2^j) · Σ_{i<j} S_i(n)
+//
+// for every 1 <= j <= log p.  Ratios with zero denominator are skipped;
+// if no superstep has a label below log p the result is +Inf is avoided
+// and 0 is returned (the notion is vacuous).
+func Fullness(tr *core.Trace, p int) float64 {
+	lp := core.Log2(p)
+	if lp < 1 || lp > tr.LogV {
+		panic(fmt.Sprintf("eval: Fullness: p=%d invalid for v=%d", p, tr.V))
+	}
+	s := tr.S()
+	gamma := math.Inf(1)
+	for j := 1; j <= lp; j++ {
+		fj := tr.F(1 << uint(j))
+		var num, den int64
+		for i := 0; i < j; i++ {
+			num += fj[i]
+			den += s[i]
+		}
+		if den == 0 {
+			continue
+		}
+		ratio := float64(num) * float64(int64(1)<<uint(j)) / (float64(den) * float64(p))
+		if ratio < gamma {
+			gamma = ratio
+		}
+	}
+	if math.IsInf(gamma, 1) {
+		return 0
+	}
+	return gamma
+}
+
+// CheckFoldingLemma verifies Lemma 3.1 on a recorded trace: for every
+// 1 <= j <= log p,
+//
+//	Σ_{i<j} F_i(n, 2^j)  <=  (p/2^j) · Σ_{i<j} F_i(n, p).
+//
+// It returns an error describing the first violation, or nil.  The lemma
+// holds unconditionally for every static algorithm, so a violation
+// indicates a metrics bug; the property tests exercise this.
+func CheckFoldingLemma(tr *core.Trace, p int) error {
+	lp := core.Log2(p)
+	if lp < 1 || lp > tr.LogV {
+		return fmt.Errorf("eval: CheckFoldingLemma: p=%d invalid for v=%d", p, tr.V)
+	}
+	fp := tr.F(p)
+	for j := 1; j <= lp; j++ {
+		fj := tr.F(1 << uint(j))
+		var lhs, rhs int64
+		for i := 0; i < j; i++ {
+			lhs += fj[i]
+			rhs += fp[i]
+		}
+		scaled := rhs * int64(p>>uint(j))
+		if lhs > scaled {
+			return fmt.Errorf("eval: Lemma 3.1 violated at j=%d: Σ F_i(n,2^j)=%d > (p/2^j)·Σ F_i(n,p)=%d", j, lhs, scaled)
+		}
+	}
+	return nil
+}
+
+// BetaOptimality returns the optimality factor β = lower/measured of a
+// measured communication complexity against a lower bound (Definition
+// 2.1: an algorithm is β-optimal when every competitor is at least β times
+// as expensive; measuring against a proven lower bound certifies β).
+// A result of 0 means the measurement was infinitely worse than the bound
+// (or the bound was 0 with a positive measurement).
+func BetaOptimality(lower, measured float64) float64 {
+	switch {
+	case measured <= 0 && lower <= 0:
+		return 1
+	case measured <= 0:
+		return 0
+	default:
+		beta := lower / measured
+		if beta > 1 {
+			beta = 1
+		}
+		if beta < 0 {
+			beta = 0
+		}
+		return beta
+	}
+}

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"netoblivious/internal/broadcast"
+	"netoblivious/internal/colsort"
+	"netoblivious/internal/core"
+	"netoblivious/internal/fft"
+	"netoblivious/internal/matmul"
+	"netoblivious/internal/prefix"
+	"netoblivious/internal/stencil"
+)
+
+// TraceAlgorithm runs a named algorithm at a given input size and returns
+// its communication trace — the registry behind `nobl trace`.
+type TraceAlgorithm struct {
+	Name string
+	// Doc describes the algorithm and how n is interpreted.
+	Doc string
+	// Run executes the algorithm on a deterministic input of size n.
+	Run func(n int) (*core.Trace, error)
+}
+
+// TraceAlgorithms returns the runnable algorithm registry, sorted by name.
+func TraceAlgorithms() []TraceAlgorithm {
+	algos := []TraceAlgorithm{
+		{
+			Name: "matmul",
+			Doc:  "8-way recursive n-MM (§4.1); n = matrix entries (side² = n, power of 4)",
+			Run: func(n int) (*core.Trace, error) {
+				s, err := sideOf(n)
+				if err != nil {
+					return nil, err
+				}
+				rng := seededRng()
+				r, err := matmul.Multiply(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+		{
+			Name: "matmul-space",
+			Doc:  "space-efficient n-MM (§4.1.1); n = matrix entries",
+			Run: func(n int) (*core.Trace, error) {
+				s, err := sideOf(n)
+				if err != nil {
+					return nil, err
+				}
+				rng := seededRng()
+				r, err := matmul.MultiplySpaceEfficient(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+		{
+			Name: "fft",
+			Doc:  "recursive n-FFT (§4.2)",
+			Run: func(n int) (*core.Trace, error) {
+				rng := seededRng()
+				x := make([]complex128, n)
+				for i := range x {
+					x[i] = complex(rng.Float64(), 0)
+				}
+				r, err := fft.Transform(x, fft.Options{Wise: true})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+		{
+			Name: "fft-iterative",
+			Doc:  "butterfly baseline FFT (§4.2 discussion)",
+			Run: func(n int) (*core.Trace, error) {
+				rng := seededRng()
+				x := make([]complex128, n)
+				for i := range x {
+					x[i] = complex(rng.Float64(), 0)
+				}
+				r, err := fft.TransformIterative(x, fft.Options{Wise: true})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+		{
+			Name: "sort",
+			Doc:  "recursive Columnsort (§4.3)",
+			Run: func(n int) (*core.Trace, error) {
+				rng := seededRng()
+				keys := make([]int64, n)
+				for i := range keys {
+					keys[i] = rng.Int63()
+				}
+				r, err := colsort.Sort(keys, colsort.Options{Wise: true})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+		{
+			Name: "bitonic",
+			Doc:  "Batcher's bitonic network (E13 baseline)",
+			Run: func(n int) (*core.Trace, error) {
+				rng := seededRng()
+				keys := make([]int64, n)
+				for i := range keys {
+					keys[i] = rng.Int63()
+				}
+				r, err := colsort.SortBitonic(keys, colsort.Options{Wise: true})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+		{
+			Name: "stencil1",
+			Doc:  "(n,1)-stencil diamond recursion (§4.4.1); n = spatial side",
+			Run: func(n int) (*core.Trace, error) {
+				rng := seededRng()
+				in := make([]int64, n)
+				for i := range in {
+					in[i] = int64(rng.Intn(1 << 20))
+				}
+				r, err := stencil.Run(n, 1, in, stencil.Options{Wise: true})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+		{
+			Name: "stencil2",
+			Doc:  "(n,2)-stencil octahedral recursion (§4.4.2); n = spatial side, v = n²",
+			Run: func(n int) (*core.Trace, error) {
+				rng := seededRng()
+				in := make([]int64, n*n)
+				for i := range in {
+					in[i] = int64(rng.Intn(1 << 20))
+				}
+				r, err := stencil.Run(n, 2, in, stencil.Options{Wise: true})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+		{
+			Name: "broadcast-tree",
+			Doc:  "oblivious binary-tree n-broadcast (§4.5)",
+			Run: func(n int) (*core.Trace, error) {
+				r, err := broadcast.Oblivious(n, 1, broadcast.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+		{
+			Name: "prefix-tree",
+			Doc:  "work-efficient prefix sums (§5 substrate)",
+			Run: func(n int) (*core.Trace, error) {
+				rng := seededRng()
+				xs := make([]int64, n)
+				for i := range xs {
+					xs[i] = int64(rng.Intn(1000))
+				}
+				r, err := prefix.ScanTree(xs, prefix.Sum(), prefix.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return r.Trace, nil
+			},
+		},
+	}
+	sort.Slice(algos, func(i, j int) bool { return algos[i].Name < algos[j].Name })
+	return algos
+}
+
+// TraceAlgorithmByName looks up a registry entry.
+func TraceAlgorithmByName(name string) (TraceAlgorithm, bool) {
+	for _, a := range TraceAlgorithms() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return TraceAlgorithm{}, false
+}
+
+func sideOf(n int) (int, error) {
+	s := 1
+	for s*s < n {
+		s *= 2
+	}
+	if s*s != n {
+		return 0, fmt.Errorf("harness: n=%d is not the square of a power of two", n)
+	}
+	return s, nil
+}

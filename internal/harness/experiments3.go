@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"math/rand"
+
+	"netoblivious/internal/colsort"
+	"netoblivious/internal/dbsp"
+	"netoblivious/internal/eval"
+	"netoblivious/internal/network"
+	"netoblivious/internal/theory"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E13",
+		Title:    "sorting ablation: Columnsort vs Batcher's bitonic network",
+		PaperRef: "Theorem 4.8 (optimality) vs the classic Θ(log²p)-suboptimal baseline",
+		Run:      runE13,
+	})
+	register(Experiment{
+		ID:       "E14",
+		Title:    "D-BSP validity: packet-level routing vs h·g_i + ℓ_i on real networks",
+		PaperRef: "Section 2 (execution model), Bilardi et al. 1999",
+		Run:      runE14,
+	})
+}
+
+func runE13(cfg Config) ([]*Table, error) {
+	rng := seededRng()
+	sizes := []int{1 << 8, 1 << 10, 1 << 12}
+	if cfg.Quick {
+		sizes = []int{1 << 8, 1 << 10}
+	}
+	tb := &Table{
+		ID: "E13", Title: "normalized per-key communication H·p/n at σ=0",
+		PaperRef: "Theorem 4.8",
+		Columns:  []string{"n", "p", "Columnsort H·p/n", "bitonic H·p/n", "bitonic shape log p(log p+1)", "col/bit"},
+	}
+	for _, n := range sizes {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = rng.Int63()
+		}
+		col, err := colsort.Sort(keys, colsort.Options{Wise: true})
+		if err != nil {
+			return nil, err
+		}
+		bit, err := colsort.SortBitonic(keys, colsort.Options{Wise: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range []int{4, 16, 64} {
+			hc := eval.H(col.Trace, p, 0) * float64(p) / float64(n)
+			hb := eval.H(bit.Trace, p, 0) * float64(p) / float64(n)
+			shape := theory.PredictedBitonic(float64(n), p, 0) * 2 * float64(p) / float64(n)
+			tb.AddRow(n, p, hc, hb, shape, hc/hb)
+		}
+	}
+	tb.Notes = append(tb.Notes,
+		"bitonic's normalized cost is exactly log p(log p+1), independent of n — the Θ(log²p) suboptimality factor made visible",
+		"Columnsort's normalized cost falls with n toward a constant (Theorem 4.8's Θ(1)-optimality for p = O(n^{1-δ})); at simulable sizes bitonic's small constants still win in absolute terms — the paper's claim is asymptotic and the trend confirms it")
+	return []*Table{tb}, nil
+}
+
+func runE14(cfg Config) ([]*Table, error) {
+	rng := rand.New(rand.NewSource(1999)) // Euro-Par 1999
+	p := 64
+	if cfg.Quick {
+		p = 16
+	}
+	tb := &Table{
+		ID: "E14", Title: "routing cluster-confined h-relations on real networks",
+		PaperRef: "Section 2; Bilardi–Pietracaprina–Pucci 1999",
+		Columns:  []string{"network", "cluster level i", "h", "measured makespan", "D-BSP h·g_i+ℓ_i", "ratio"},
+	}
+	cases := []struct {
+		topo *network.Topology
+		pr   dbsp.Params
+	}{
+		{network.Ring(p), dbsp.Mesh(1, p)},
+		{network.Torus2D(p), dbsp.Mesh(2, p)},
+		{network.Hypercube(p), dbsp.Hypercube(p)},
+	}
+	levels := []int{0, 2, 4}
+	if cfg.Quick {
+		levels = []int{0, 2}
+	}
+	for _, c := range cases {
+		sim := network.NewSim(c.topo)
+		for _, level := range levels {
+			for _, h := range []int{1, 4, 16} {
+				msgs := network.ClusterHRelation(rng, p, level, h)
+				res := sim.Route(msgs)
+				pred := float64(h)*c.pr.G[level] + c.pr.L[level]
+				tb.AddRow(c.topo.Name, level, h, res.Makespan, pred, float64(res.Makespan)/pred)
+			}
+		}
+	}
+	tb.Notes = append(tb.Notes,
+		"bounded ratios across topologies, cluster levels and degrees justify using D-BSP as the execution machine model — the premise the paper takes from Bilardi et al. [1999], rebuilt here with a synchronous store-and-forward simulator",
+		"ratios below 1 reflect that random h-relations do not saturate the bisection; the D-BSP vectors are worst-case")
+	return []*Table{tb}, nil
+}

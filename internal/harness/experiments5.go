@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"netoblivious/internal/cachesim"
+	"netoblivious/internal/fft"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E16",
+		Title:    "cache-oblivious connection: sequential simulation on IC(M,B)",
+		PaperRef: "Section 6 conjecture (via Pietracaprina et al. 2006)",
+		Run:      runE16,
+	})
+}
+
+func runE16(cfg Config) ([]*Table, error) {
+	rng := seededRng()
+	n := 1 << 10
+	if cfg.Quick {
+		n = 1 << 8
+	}
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64(), 0)
+	}
+	rec, err := fft.Transform(x, fft.Options{Wise: false, Record: true})
+	if err != nil {
+		return nil, err
+	}
+	it, err := fft.TransformIterative(x, fft.Options{Wise: false, Record: true})
+	if err != nil {
+		return nil, err
+	}
+	const ctxWords, b = 4, 8
+	sizes := []int{1 << 7, 1 << 9, 1 << 11, 1 << 13}
+	curveRec, err := cachesim.MissCurve(rec.Trace, ctxWords, b, sizes)
+	if err != nil {
+		return nil, err
+	}
+	curveIt, err := cachesim.MissCurve(it.Trace, ctxWords, b, sizes)
+	if err != nil {
+		return nil, err
+	}
+	// Total word accesses (for miss rates): simulate with a huge cache.
+	big1, _ := cachesim.New(1<<22, b)
+	stRec, err := cachesim.SimulateTrace(rec.Trace, ctxWords, big1)
+	if err != nil {
+		return nil, err
+	}
+	big2, _ := cachesim.New(1<<22, b)
+	stIt, err := cachesim.SimulateTrace(it.Trace, ctxWords, big2)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{
+		ID: "E16", Title: "IC(M,B) misses of the one-processor simulation of the two FFTs",
+		PaperRef: "Section 6",
+		Columns:  []string{"n", "M (words)", "B", "misses: recursive", "miss rate", "misses: iterative", "miss rate", "compulsory"},
+	}
+	for i, m := range sizes {
+		tb.AddRow(n, m, b,
+			curveRec[i], float64(curveRec[i])/float64(stRec.Accesses),
+			curveIt[i], float64(curveIt[i])/float64(stIt.Accesses),
+			stRec.Words/int64(b))
+	}
+	tb.Notes = append(tb.Notes,
+		"the sequential (folded-to-one-processor) execution turns superstep labels into address locality; both FFTs drop to compulsory misses once the footprint fits in M",
+		"honest finding: per-access miss rates of the two FFTs are comparable at these n, and the recursive variant's absolute misses are higher because the natural-order substitution (three transposes per level, DESIGN.md) triples its traffic — the Section 6 conjecture concerns asymptotic I/O complexity, which needs larger n and the single-transpose formulation to separate; the simulator makes that investigation runnable")
+	return []*Table{tb}, nil
+}

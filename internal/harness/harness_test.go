@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete: every experiment of the DESIGN.md index is
+// registered.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "F1"}
+	got := map[string]bool{}
+	for _, e := range Experiments() {
+		got[e.ID] = true
+		if e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if _, ok := ByID("e3"); !ok {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID should reject unknown ids")
+	}
+}
+
+// TestAllExperimentsRunQuick executes the whole suite in quick mode: every
+// experiment must produce at least one non-empty table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tbl.Title)
+				}
+				if len(tbl.Columns) == 0 {
+					t.Errorf("%s: no columns", e.ID)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Columns) {
+						t.Errorf("%s: row width %d != %d columns", e.ID, len(row), len(tbl.Columns))
+					}
+				}
+				// Both renderings must not panic and must mention the ID.
+				if !strings.Contains(tbl.Text(), tbl.ID) || !strings.Contains(tbl.Markdown(), tbl.ID) {
+					t.Errorf("%s: renderings lack the experiment id", e.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestTableFormatting covers the cell formatter.
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "T", Title: "x", PaperRef: "y", Columns: []string{"a", "b", "c", "d"}}
+	tb.AddRow(1, "s", 3.14159, 1234567.0)
+	if tb.Rows[0][0] != "1" || tb.Rows[0][1] != "s" {
+		t.Errorf("bad cells: %v", tb.Rows[0])
+	}
+	if tb.Rows[0][2] != "3.14" {
+		t.Errorf("float cell = %q, want 3.14", tb.Rows[0][2])
+	}
+	if !strings.Contains(tb.Rows[0][3], "e+06") && tb.Rows[0][3] != "1.23e+06" {
+		t.Errorf("large float cell = %q", tb.Rows[0][3])
+	}
+	txt := tb.Text()
+	if !strings.Contains(txt, "a") || !strings.Contains(txt, "---") {
+		t.Errorf("text rendering broken:\n%s", txt)
+	}
+}

@@ -1,0 +1,148 @@
+// Package harness defines the reproduction experiments: one per
+// table/figure-equivalent claim of the paper (the paper is theoretical, so
+// its "evaluation" is the set of theorems of Sections 3–5; each experiment
+// regenerates one claim as a measured table).  The registry is consumed by
+// cmd/nobl and by the benchmark suite in bench_test.go; EXPERIMENTS.md
+// records the outputs.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	// ID is the experiment identifier (E1..E12, F1).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// PaperRef points to the theorem/section reproduced.
+	PaperRef string
+	// Columns are the header names.
+	Columns []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+	// Notes carry free-form commentary (pass/fail summaries, caveats).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000000:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Text renders the table as aligned plain text.
+func (t *Table) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s  [%s]\n", t.ID, t.Title, t.PaperRef)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n*Reproduces: %s*\n\n", t.ID, t.Title, t.PaperRef)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, r := range t.Rows {
+		sb.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	sb.WriteByte('\n')
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "> %s\n", n)
+	}
+	return sb.String()
+}
+
+// Config tunes experiment sizes.
+type Config struct {
+	// Quick shrinks problem sizes for use inside benchmarks and smoke
+	// tests.
+	Quick bool
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(cfg Config) ([]*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns the full registry in declaration order.
+func Experiments() []Experiment { return registry }
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,287 @@
+package matmul
+
+import (
+	"fmt"
+
+	"netoblivious/internal/core"
+)
+
+// RectResult carries the rectangular product and trace.
+type RectResult struct {
+	// C is the m×n product, row-major.
+	C []int64
+	// Trace is the communication record of the M(v) run.
+	Trace *core.Trace
+}
+
+// SeqMultiplyRect is the sequential reference for C = A(m×k)·B(k×n).
+func SeqMultiplyRect(m, k, n int, a, b []int64, sr Semiring) []int64 {
+	c := make([]int64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := sr.Zero
+			for t := 0; t < k; t++ {
+				acc = sr.Add(acc, sr.Mul(a[i*k+t], b[t*n+j]))
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}
+
+// unit is the per-VP slice length of a flattened operand with `total`
+// entries distributed over `size` VPs: total/size, at least 1 (operands
+// smaller than the segment live one entry per VP on the first `total`
+// VPs).  Totals and sizes are powers of two, so division is exact.
+func unit(total, size int) int {
+	e := total / size
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// shr returns the [lo, hi) flat range held by the VP at segment position
+// pos.
+func shr(total, size, pos int) (lo, hi int) {
+	e := unit(total, size)
+	lo = pos * e
+	if lo > total {
+		lo = total
+	}
+	hi = lo + e
+	if hi > total {
+		hi = total
+	}
+	return
+}
+
+// MultiplyRect computes C = A(m×k)·B(k×n) on M(v) with the recursive
+// split-largest-dimension strategy of Demmel, Eliahu, Fox, Kamil,
+// Lipshitz, Schwartz and Spillinger (IPDPS 2013), which the paper's
+// Section 6 cites as follow-up work within the network-oblivious
+// framework ("communication-optimal parallel recursive rectangular matrix
+// multiplication").  At every recursion level the VPs split in half
+// (label = level, so all communication stays in the current segment):
+//
+//   - splitting m partitions A and C and replicates B;
+//   - splitting n partitions B and C and replicates A;
+//   - splitting k partitions A and B; both halves compute partial
+//     products that a combine superstep adds into C.
+//
+// All of m, k, n and v must be powers of two with m·k·n >= v.  Operands
+// are distributed evenly: the VP at segment position t holds the t-th
+// slice of each operand's row-major flattening (one entry per VP on the
+// leading VPs when an operand is smaller than the segment).
+func MultiplyRect(m, k, n, v int, a, b []int64, opts Options) (*RectResult, error) {
+	for _, d := range []struct {
+		name string
+		val  int
+	}{{"m", m}, {"k", k}, {"n", n}, {"v", v}} {
+		if d.val < 1 || d.val&(d.val-1) != 0 {
+			return nil, fmt.Errorf("matmul: %s=%d must be a positive power of two", d.name, d.val)
+		}
+	}
+	if len(a) != m*k || len(b) != k*n {
+		return nil, fmt.Errorf("matmul: need |A|=%d and |B|=%d, got %d and %d", m*k, k*n, len(a), len(b))
+	}
+	if m*k*n < v {
+		return nil, fmt.Errorf("matmul: m·k·n = %d smaller than v = %d", m*k*n, v)
+	}
+	opts.fill()
+	sr := *opts.Semiring
+	c := make([]int64, m*n)
+
+	prog := func(vp *core.VP[payload]) {
+		w := &rectWorker{vp: vp, sr: sr, wise: opts.Wise}
+		aLo, aHi := shr(m*k, v, vp.ID())
+		bLo, bHi := shr(k*n, v, vp.ID())
+		myA := append([]int64(nil), a[aLo:aHi]...)
+		myB := append([]int64(nil), b[bLo:bHi]...)
+		myC := w.rec(0, v, m, k, n, myA, myB)
+		cLo, cHi := shr(m*n, v, vp.ID())
+		copy(c[cLo:cHi], myC)
+	}
+	tr, err := core.RunOpt(v, prog, core.Options{RecordMessages: opts.Record})
+	if err != nil {
+		return nil, err
+	}
+	return &RectResult{C: c, Trace: tr}, nil
+}
+
+type rectWorker struct {
+	vp   *core.VP[payload]
+	sr   Semiring
+	wise bool
+}
+
+// rec multiplies the ma×ka by ka×na operands held by the segment
+// [base, base+size) and returns this VP's share of the ma×na product.
+func (w *rectWorker) rec(base, size, ma, ka, na int, myA, myB []int64) []int64 {
+	if size == 1 {
+		return SeqMultiplyRect(ma, ka, na, myA, myB, w.sr)
+	}
+	vp := w.vp
+	label := vp.LogV() - core.Log2(size)
+	pos := vp.ID() - base
+	half := size / 2
+	child := pos / half
+	cpos := pos % half
+	aLo, _ := shr(ma*ka, size, pos)
+	bLo, _ := shr(ka*na, size, pos)
+	uC := unit(ma*na, size)
+
+	// Choose the largest dimension (ties: m, then n, then k) — the CARMA
+	// rule; deterministic, hence uniform across sibling segments.
+	var myM []int64
+	var cFlat func(childFlat int) int // child product flat -> parent C flat
+	var addCombine bool
+
+	switch {
+	case ma >= na && ma >= ka && ma > 1:
+		// Split m: A and C partition by row halves, B replicates.
+		ma2 := ma / 2
+		uA2 := unit(ma2*ka, half)
+		uB2 := unit(ka*na, half)
+		for fi, val := range myA {
+			f := aLo + fi
+			i, j := f/ka, f%ka
+			ch := i / ma2
+			lf := (i%ma2)*ka + j
+			vp.Send(base+ch*half+lf/uA2, payload{kind: 'a', f: int32(lf), v: val})
+		}
+		for fi, val := range myB {
+			f := bLo + fi
+			for ch := 0; ch <= 1; ch++ {
+				vp.Send(base+ch*half+f/uB2, payload{kind: 'b', f: int32(f), v: val})
+			}
+		}
+		w.dummiesRect(label, len(myA)+2*len(myB))
+		vp.Sync(label)
+		childA, childB := w.collect(ma2*ka, ka*na, half, cpos)
+		myM = w.rec(base+child*half, half, ma2, ka, na, childA, childB)
+		mBase, _ := shr(ma2*na, half, cpos)
+		cFlat = func(cf int) int {
+			lf := mBase + cf
+			i, j := lf/na, lf%na
+			return (child*ma2+i)*na + j
+		}
+
+	case na >= ka && na > 1:
+		// Split n: B and C partition by column halves, A replicates.
+		na2 := na / 2
+		uA2 := unit(ma*ka, half)
+		uB2 := unit(ka*na2, half)
+		for fi, val := range myB {
+			f := bLo + fi
+			i, j := f/na, f%na
+			ch := j / na2
+			lf := i*na2 + (j % na2)
+			vp.Send(base+ch*half+lf/uB2, payload{kind: 'b', f: int32(lf), v: val})
+		}
+		for fi, val := range myA {
+			f := aLo + fi
+			for ch := 0; ch <= 1; ch++ {
+				vp.Send(base+ch*half+f/uA2, payload{kind: 'a', f: int32(f), v: val})
+			}
+		}
+		w.dummiesRect(label, 2*len(myA)+len(myB))
+		vp.Sync(label)
+		childA, childB := w.collect(ma*ka, ka*na2, half, cpos)
+		myM = w.rec(base+child*half, half, ma, ka, na2, childA, childB)
+		mBase, _ := shr(ma*na2, half, cpos)
+		cFlat = func(cf int) int {
+			lf := mBase + cf
+			i, j := lf/na2, lf%na2
+			return i*na + child*na2 + j
+		}
+
+	default:
+		// Split k: A partitions by column halves, B by row halves; both
+		// children compute full-shape partials, combined by addition.
+		ka2 := ka / 2
+		uA2 := unit(ma*ka2, half)
+		uB2 := unit(ka2*na, half)
+		for fi, val := range myA {
+			f := aLo + fi
+			i, j := f/ka, f%ka
+			ch := j / ka2
+			lf := i*ka2 + (j % ka2)
+			vp.Send(base+ch*half+lf/uA2, payload{kind: 'a', f: int32(lf), v: val})
+		}
+		for fi, val := range myB {
+			f := bLo + fi
+			i, j := f/na, f%na
+			ch := i / ka2
+			lf := (i%ka2)*na + j
+			vp.Send(base+ch*half+lf/uB2, payload{kind: 'b', f: int32(lf), v: val})
+		}
+		w.dummiesRect(label, len(myA)+len(myB))
+		vp.Sync(label)
+		childA, childB := w.collect(ma*ka2, ka2*na, half, cpos)
+		myM = w.rec(base+child*half, half, ma, ka2, na, childA, childB)
+		mBase, _ := shr(ma*na, half, cpos)
+		cFlat = func(cf int) int { return mBase + cf }
+		addCombine = true
+	}
+
+	// Combine: route partials to the parent C holders.
+	for fi, val := range myM {
+		pf := cFlat(fi)
+		vp.Send(base+pf/uC, payload{kind: 'm', f: int32(pf % uC), v: val})
+	}
+	w.dummiesRect(label, len(myM))
+	vp.Sync(label)
+
+	cLo, cHi := shr(ma*na, size, pos)
+	myC := make([]int64, cHi-cLo)
+	if addCombine {
+		for i := range myC {
+			myC[i] = w.sr.Zero
+		}
+	}
+	seen := make([]bool, len(myC))
+	for _, msg := range vp.Inbox() {
+		if msg.Payload.kind != 'm' {
+			panic("matmul: unexpected message kind in combine")
+		}
+		fi := int(msg.Payload.f)
+		if addCombine {
+			myC[fi] = w.sr.Add(myC[fi], msg.Payload.v)
+			continue
+		}
+		if seen[fi] {
+			panic("matmul: duplicate C partial in m/n combine")
+		}
+		seen[fi] = true
+		myC[fi] = msg.Payload.v
+	}
+	return myC
+}
+
+// collect builds the child operand slices from the inbox; message f
+// indices are child-segment flats.
+func (w *rectWorker) collect(aTotal, bTotal, half, cpos int) (childA, childB []int64) {
+	aLo, aHi := shr(aTotal, half, cpos)
+	bLo, bHi := shr(bTotal, half, cpos)
+	childA = make([]int64, aHi-aLo)
+	childB = make([]int64, bHi-bLo)
+	for _, msg := range w.vp.Inbox() {
+		switch msg.Payload.kind {
+		case 'a':
+			childA[int(msg.Payload.f)-aLo] = msg.Payload.v
+		case 'b':
+			childB[int(msg.Payload.f)-bLo] = msg.Payload.v
+		default:
+			panic("matmul: unexpected message kind in distribution")
+		}
+	}
+	return childA, childB
+}
+
+// dummiesRect applies the wiseness trick.
+func (w *rectWorker) dummiesRect(label, count int) {
+	if w.wise {
+		core.WisenessDummies(w.vp, label, count)
+	}
+}

@@ -1,0 +1,81 @@
+package stencil
+
+import (
+	"fmt"
+	"strings"
+
+	"netoblivious/internal/core"
+)
+
+// Tile describes one diamond of the top-level decomposition of the (n,1)
+// space-time square, for inspection and for the Figure-1 rendering.
+type Tile struct {
+	// A, B are the rotated-coordinate tile indices.
+	A, B int
+	// Phase is the evaluation phase (stripe) of the tile, in [0, 2k-1).
+	Phase int
+	// Segment is the VP segment index assigned to the tile.
+	Segment int
+	// Nodes is the number of valid DAG nodes the tile contains (tiles at
+	// the square's corners are truncated and may be empty).
+	Nodes int
+}
+
+// Decompose returns the top-level diamond decomposition of the
+// (n,1)-stencil: the k×k grid of rotated boxes with their phases, mirroring
+// Figure 1 of the paper (2k−1 stripes, each with at most k diamonds).
+// Empty tiles (no valid nodes) are omitted.
+func Decompose(n int) []Tile {
+	k := K(n)
+	g := &geom{n: n, d: 1, k: k, kd: k, logV: core.Log2(n), b0: -(n - 1)}
+	root := g.root()
+	w2 := root.w / k
+	var tiles []Tile
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			cnt := 0
+			for aa := root.A0 + a*w2; aa < root.A0+(a+1)*w2; aa++ {
+				for bb := root.B0 + b*w2; bb < root.B0+(b+1)*w2; bb++ {
+					if g.valid(node{a: int32(aa), b: int32(bb)}) {
+						cnt++
+					}
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			tiles = append(tiles, Tile{A: a, B: b, Phase: a + (k - 1) - b, Segment: a, Nodes: cnt})
+		}
+	}
+	return tiles
+}
+
+// RenderDecomposition draws the (n,1) decomposition as ASCII art: the
+// space-time square with each node labeled by the phase (stripe) of its
+// tile, reproducing the structure of Figure 1 of the paper.  Rows are
+// printed top-down from t = n−1 to t = 0.
+func RenderDecomposition(n int) string {
+	k := K(n)
+	g := &geom{n: n, d: 1, k: k, kd: k, logV: core.Log2(n), b0: -(n - 1)}
+	root := g.root()
+	w2 := root.w / k
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(%d,1)-stencil, k=%d: %d phases, tiles labeled by phase\n", n, k, 2*k-1)
+	glyph := func(p int) byte {
+		const alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+		if p < len(alphabet) {
+			return alphabet[p]
+		}
+		return '#'
+	}
+	for t := n - 1; t >= 0; t-- {
+		for x := 0; x < n; x++ {
+			a, b := x+t, x-t
+			ta := (a - root.A0) / w2
+			tb := (b - root.B0) / w2
+			sb.WriteByte(glyph(ta + (k - 1) - tb))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

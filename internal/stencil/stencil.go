@@ -1,0 +1,302 @@
+// Package stencil implements the network-oblivious stencil algorithms of
+// Section 4.4 of the paper: the (n,1)-stencil (Theorem 4.11) and the
+// (n,2)-stencil (Theorem 4.13).
+//
+// The (n,d)-stencil problem evaluates a DAG with nodes ⟨x₁..x_d, t⟩,
+// 0 <= x_i, t < n, where each node at time t depends on its (up to 3^d)
+// spatial neighbours at time t−1.  Nodes with t = 0 are inputs.
+//
+// # Geometry
+//
+// We work in rotated space-time coordinates.  For d = 1 a node (x, t)
+// maps to (a, b) = (x+t, x−t); the n×n space-time square becomes a
+// diamond-oriented lattice inside a 2n×2n box, and the paper's diamond
+// DAGs (Figure 1) become axis-aligned boxes.  Dependencies point towards
+// larger a and smaller b, so the grid of w/k-side sub-boxes of a box can
+// be evaluated in 2k−1 anti-diagonal phases of at most k mutually
+// independent diamonds — exactly the stripe structure of Figure 1.  Each
+// sub-box is assigned to a sub-segment of z/k VPs and evaluated
+// recursively; below k VPs a segment evaluates its diamond as a 2z-step
+// wavefront; a single VP evaluates locally.  The recursion degree is
+// k = 2^⌈√log n⌉ as in the paper, giving H = O(n·4^{√log n}).
+//
+// For d = 2 a node (x, y, t) maps to (a, b, c) = (x+t, x−t, y+t); boxes
+// in (a, b, c) are the octahedron-like pieces of Section 4.4.2, swept in
+// 3k−2 phases of at most k² independent pieces on segments of z/k² VPs
+// (the paper's decomposition has 4k−3 phases; both are Θ(k), see the
+// substitution table in DESIGN.md), giving H = O((n²/√p)·8^{√log n}).
+//
+// Every value is computed by a statically determined VP (ComputeOwner);
+// redistribution supersteps before each phase forward boundary values
+// from producers to the consumers' owners, one superstep per phase with
+// O(1) messages per VP, labeled with the enclosing segment's cluster.
+package stencil
+
+import (
+	"fmt"
+
+	"netoblivious/internal/core"
+)
+
+// Mod is the modulus of the concrete node function used by Run and the
+// sequential reference.
+const Mod = 1_000_000_007
+
+// node identifies a DAG node in rotated coordinates: a = x+t, b = x−t,
+// c = y+t (c is 0 for d = 1).
+type node struct {
+	a, b, c int32
+}
+
+// geom carries the run-wide geometry shared by all VPs.
+type geom struct {
+	n    int // spatial side and number of timesteps
+	d    int // 1 or 2
+	k    int // recursion degree, 2^⌈√log n⌉
+	kd   int // k^d: sub-segments per box
+	logV int
+	b0   int // global b-origin of the root box
+}
+
+// K returns the paper's recursion degree k = 2^⌈√log₂ n⌉.
+func K(n int) int {
+	ln := core.Log2(n)
+	s := 0
+	for s*s < ln {
+		s++
+	}
+	return 1 << uint(s)
+}
+
+func (g *geom) xyt(nd node) (x, y, t int) {
+	x = int(nd.a+nd.b) / 2
+	t = int(nd.a-nd.b) / 2
+	y = int(nd.c) - t
+	return
+}
+
+func (g *geom) valid(nd node) bool {
+	if (nd.a-nd.b)&1 != 0 {
+		return false
+	}
+	x, y, t := g.xyt(nd)
+	if x < 0 || x >= g.n || t < 0 || t >= g.n {
+		return false
+	}
+	if g.d == 2 && (y < 0 || y >= g.n) {
+		return false
+	}
+	return true
+}
+
+// gridIndex flattens a node for the shared output grid: t·n+x for d=1,
+// (t·n+x)·n+y for d=2.
+func (g *geom) gridIndex(nd node) int {
+	x, y, t := g.xyt(nd)
+	if g.d == 1 {
+		return t*g.n + x
+	}
+	return (t*g.n+x)*g.n + y
+}
+
+// preds appends the valid predecessors of nd to buf.
+func (g *geom) preds(nd node, buf []node) []node {
+	if int(nd.a-nd.b)/2 == 0 {
+		return buf // t = 0: input node
+	}
+	for da := int32(-2); da <= 0; da++ {
+		// (x+δ, t−1): a′ = a+δ−1 ∈ {a−2..a}, b′ = b+δ+1, so b′ = a′−a+b+2.
+		p := node{a: nd.a + da, b: nd.b + da + 2}
+		if g.d == 1 {
+			if g.valid(p) {
+				buf = append(buf, p)
+			}
+			continue
+		}
+		for dc := int32(-2); dc <= 0; dc++ {
+			p.c = nd.c + dc
+			if g.valid(p) {
+				buf = append(buf, p)
+			}
+		}
+	}
+	return buf
+}
+
+// consumers appends the valid consumers (nodes at t+1 depending on nd).
+func (g *geom) consumers(nd node, buf []node) []node {
+	for da := int32(0); da <= 2; da++ {
+		q := node{a: nd.a + da, b: nd.b + da - 2}
+		if g.d == 1 {
+			if g.valid(q) {
+				buf = append(buf, q)
+			}
+			continue
+		}
+		for dc := int32(0); dc <= 2; dc++ {
+			q.c = nd.c + dc
+			if g.valid(q) {
+				buf = append(buf, q)
+			}
+		}
+	}
+	return buf
+}
+
+// apply evaluates the concrete node function: inputs at t=0 come from in;
+// later nodes combine their predecessors with position-indexed
+// coefficients mod Mod.  Out-of-grid predecessors contribute 0 (but still
+// advance the coefficient), exactly matching SeqEvaluate.
+func (g *geom) apply(nd node, in []int64, vals map[node]int64) int64 {
+	x, y, t := g.xyt(nd)
+	if t == 0 {
+		if g.d == 1 {
+			return in[x] % Mod
+		}
+		return in[x*g.n+y] % Mod
+	}
+	var acc int64 = 1
+	coef := int64(3)
+	for da := int32(-2); da <= 0; da++ {
+		p := node{a: nd.a + da, b: nd.b + da + 2}
+		if g.d == 1 {
+			if g.valid(p) {
+				acc = (acc + coef*g.mustVal(p, nd, vals)) % Mod
+			}
+			coef += 2
+			continue
+		}
+		for dc := int32(-2); dc <= 0; dc++ {
+			p.c = nd.c + dc
+			if g.valid(p) {
+				acc = (acc + coef*g.mustVal(p, nd, vals)) % Mod
+			}
+			coef += 2
+		}
+	}
+	return acc
+}
+
+func (g *geom) mustVal(p, nd node, vals map[node]int64) int64 {
+	v, ok := vals[p]
+	if !ok {
+		px, py, pt := g.xyt(p)
+		x, y, t := g.xyt(nd)
+		panic(fmt.Sprintf("stencil: missing predecessor (x=%d y=%d t=%d) of (x=%d y=%d t=%d)", px, py, pt, x, y, t))
+	}
+	return v
+}
+
+// box is a recursion cell: the segment [sb, sb+z) of VPs evaluating the
+// rotated-coordinate box [A0, A0+w) × [B0, B0+w) (× [C0, C0+w) for d=2).
+// empty marks structural dummy boxes (idle segments run the same superstep
+// sequence with no nodes, per the paper's footnote 8).
+type box struct {
+	sb, z      int
+	A0, B0, C0 int
+	w          int
+	empty      bool
+}
+
+func (g *geom) contains(bx box, nd node) bool {
+	if bx.empty {
+		return false
+	}
+	if int(nd.a) < bx.A0 || int(nd.a) >= bx.A0+bx.w || int(nd.b) < bx.B0 || int(nd.b) >= bx.B0+bx.w {
+		return false
+	}
+	if g.d == 2 && (int(nd.c) < bx.C0 || int(nd.c) >= bx.C0+bx.w) {
+		return false
+	}
+	return true
+}
+
+// phases returns the number of anti-diagonal phases of a box: 2k−1 for
+// d=1, 3k−2 for d=2.
+func (g *geom) phases() int {
+	if g.d == 1 {
+		return 2*g.k - 1
+	}
+	return 3*g.k - 2
+}
+
+// subBox returns the sub-box evaluated by sub-segment q of bx in phase
+// phi, which may be empty.
+func (g *geom) subBox(bx box, phi, q int) box {
+	w2 := bx.w / g.k
+	z2 := bx.z / g.kd
+	sub := box{sb: bx.sb + q*z2, z: z2, w: w2, empty: true}
+	if bx.empty {
+		return sub
+	}
+	if g.d == 1 {
+		a := q
+		b := a + (g.k - 1) - phi
+		if b < 0 || b >= g.k {
+			return sub
+		}
+		sub.A0 = bx.A0 + a*w2
+		sub.B0 = bx.B0 + b*w2
+		sub.empty = false
+		return sub
+	}
+	a, c := q/g.k, q%g.k
+	b := a + c + (g.k - 1) - phi
+	if b < 0 || b >= g.k {
+		return sub
+	}
+	sub.A0 = bx.A0 + a*w2
+	sub.B0 = bx.B0 + b*w2
+	sub.C0 = bx.C0 + c*w2
+	sub.empty = false
+	return sub
+}
+
+// subPhase returns the phase in which a node of bx is evaluated, plus its
+// sub-segment index.
+func (g *geom) subPhase(bx box, nd node) (phi, q int) {
+	w2 := bx.w / g.k
+	a := (int(nd.a) - bx.A0) / w2
+	b := (int(nd.b) - bx.B0) / w2
+	if g.d == 1 {
+		return a + (g.k - 1) - b, a
+	}
+	c := (int(nd.c) - bx.C0) / w2
+	return a + c + (g.k - 1) - b, a*g.k + c
+}
+
+// ComputeOwner returns the VP that evaluates a given space-time node under
+// the static schedule.  Exposed for tests; nodes are passed in original
+// coordinates.
+func (g *geom) computeOwner(nd node) int {
+	bx := g.root()
+	for bx.z >= g.kd && bx.z > 1 {
+		_, q := g.subPhase(bx, nd)
+		bx = g.descend(bx, nd, q)
+	}
+	if bx.z == 1 {
+		return bx.sb
+	}
+	// Wavefront slab ownership.
+	if g.d == 1 {
+		return bx.sb + (int(nd.a)-bx.A0)/2
+	}
+	return bx.sb + (int(nd.a)-bx.A0)/2*(bx.w/2) + (int(nd.c)-bx.C0)/2
+}
+
+func (g *geom) descend(bx box, nd node, q int) box {
+	w2 := bx.w / g.k
+	z2 := bx.z / g.kd
+	sub := box{sb: bx.sb + q*z2, z: z2, w: w2}
+	sub.A0 = bx.A0 + (int(nd.a)-bx.A0)/w2*w2
+	sub.B0 = bx.B0 + (int(nd.b)-bx.B0)/w2*w2
+	if g.d == 2 {
+		sub.C0 = bx.C0 + (int(nd.c)-bx.C0)/w2*w2
+	}
+	return sub
+}
+
+func (g *geom) root() box {
+	v := 1 << uint(g.logV)
+	return box{sb: 0, z: v, A0: 0, B0: g.b0, C0: 0, w: 2 * g.n}
+}

@@ -1,0 +1,262 @@
+// Package theory collects the analytic side of the reproduction: the
+// communication lower bounds the paper optimizes against (Lemmas 4.1, 4.4,
+// 4.7, 4.10 and Theorem 4.15, all in the form proved by Scquizzato and
+// Silvestri, STACS 2014, plus Irony–Toledo–Tiskin for space-bounded matrix
+// multiplication), the closed-form upper bounds of the paper's theorems,
+// and the machinery of the optimality theorem (Lemma 3.3, Theorem 3.4,
+// Theorem 4.16).
+//
+// All bounds are returned with unit leading constants; experiments check
+// that measured/predicted ratios stay bounded, i.e. the *shape* of each
+// claim, which is what an asymptotic reproduction can and should verify.
+package theory
+
+import (
+	"fmt"
+	"math"
+
+	"netoblivious/internal/dbsp"
+)
+
+// log2 is the paper's log convention: log x = max{1, log2 x}.
+func log2(x float64) float64 {
+	l := math.Log2(x)
+	if l < 1 {
+		return 1
+	}
+	return l
+}
+
+// --- Lower bounds (Section 4, with σ = 0 bounds extended by +σ) ----------
+
+// LowerBoundMM is Lemma 4.1: any n-MM algorithm in the class C (balanced
+// multiplicative work, no initial replication) has
+// H = Ω(n/p^{2/3} + σ) on M(p, σ).
+func LowerBoundMM(n float64, p int, sigma float64) float64 {
+	return n/math.Pow(float64(p), 2.0/3.0) + sigma
+}
+
+// LowerBoundMMSpace is the Irony–Toledo–Tiskin bound used in §4.1.1: with
+// O(n/v) memory per processing element, H = Ω(n/√p + σ).
+func LowerBoundMMSpace(n float64, p int, sigma float64) float64 {
+	return n/math.Sqrt(float64(p)) + sigma
+}
+
+// LowerBoundFFT is Lemma 4.4: H = Ω((n log n)/(p log(n/p)) + σ).
+func LowerBoundFFT(n float64, p int, sigma float64) float64 {
+	return n*log2(n)/(float64(p)*log2(n/float64(p))) + sigma
+}
+
+// LowerBoundSort is Lemma 4.7; same form as the FFT bound.
+func LowerBoundSort(n float64, p int, sigma float64) float64 {
+	return LowerBoundFFT(n, p, sigma)
+}
+
+// LowerBoundStencil is Lemma 4.10: for the (n, d)-stencil,
+// H = Ω(n^d/p^{(d-1)/d} + σ).
+func LowerBoundStencil(n float64, d, p int, sigma float64) float64 {
+	return math.Pow(n, float64(d))/math.Pow(float64(p), float64(d-1)/float64(d)) + sigma
+}
+
+// LowerBoundBroadcast is Theorem 4.15: any n-broadcast algorithm in C has
+// H = Ω(max{2, σ}·log_{max{2,σ}} p) on M(p, σ).
+func LowerBoundBroadcast(p int, sigma float64) float64 {
+	base := math.Max(2, sigma)
+	return base * math.Log2(float64(p)) / math.Log2(base)
+}
+
+// --- Upper bounds of the paper's theorems --------------------------------
+
+// PredictedMM is Theorem 4.2: H_MM(n, p, σ) = O(n/p^{2/3} + σ·log p).
+func PredictedMM(n float64, p int, sigma float64) float64 {
+	return n/math.Pow(float64(p), 2.0/3.0) + sigma*log2(float64(p))
+}
+
+// PredictedMMSpace is §4.1.1: H = O(n/√p + σ·√p).
+func PredictedMMSpace(n float64, p int, sigma float64) float64 {
+	return n/math.Sqrt(float64(p)) + sigma*math.Sqrt(float64(p))
+}
+
+// PredictedFFT is Theorem 4.5: H = O((n/p + σ)·log n/log(n/p)).
+func PredictedFFT(n float64, p int, sigma float64) float64 {
+	return (n/float64(p) + sigma) * log2(n) / log2(n/float64(p))
+}
+
+// PredictedIterativeFFT is the communication complexity of the one-
+// superstep-per-DAG-level butterfly algorithm (the suboptimal oblivious
+// baseline): H = Θ((n/p + σ)·log p).
+func PredictedIterativeFFT(n float64, p int, sigma float64) float64 {
+	return (n/float64(p) + sigma) * log2(float64(p))
+}
+
+// PredictedSort is Theorem 4.8:
+// H = O((n/p + σ)·(log n/log(n/p))^{log_{3/2} 4}).
+func PredictedSort(n float64, p int, sigma float64) float64 {
+	return (n/float64(p) + sigma) * math.Pow(log2(n)/log2(n/float64(p)), SortExponent)
+}
+
+// SortExponent is log_{3/2} 4 ≈ 3.419, the exponent of Theorem 4.8.
+var SortExponent = math.Log(4) / math.Log(1.5)
+
+// PredictedBitonic is the communication complexity of Batcher's bitonic
+// sorting network folded on M(p, σ).  Of its log n·(log n+1)/2
+// compare-exchange stages, exactly those with exchange distance
+// 2^j >= n/p are non-local — log p·(log p+1)/2 of them, independent of n —
+// each an (n/p)-relation:
+//
+//	H = Θ((n/p + σ)·log²p)
+//
+// a Θ(log²p) factor off the Lemma 4.7 lower bound where Columnsort is
+// Θ(1)-optimal: the suboptimal fine-grained baseline of experiment E13.
+func PredictedBitonic(n float64, p int, sigma float64) float64 {
+	lp := log2(float64(p))
+	return (n/float64(p) + sigma) * lp * (lp + 1) / 2
+}
+
+// PredictedStencil1 is Theorem 4.11: H = O(n·4^{√log n}) for
+// σ = O(n/p).  (The bound is independent of p.)
+func PredictedStencil1(n float64, p int, sigma float64) float64 {
+	return n * math.Pow(4, math.Sqrt(log2(n)))
+}
+
+// PredictedStencil2 is Theorem 4.13: H = O((n²/√p)·8^{√log n}) for
+// σ = O(n²/p).
+func PredictedStencil2(n float64, p int, sigma float64) float64 {
+	return n * n / math.Sqrt(float64(p)) * math.Pow(8, math.Sqrt(log2(n)))
+}
+
+// PredictedBroadcastAware is the σ-aware κ-ary broadcast of §4.5:
+// H = O(max{2,σ}·log_{max{2,σ}} p), matching the lower bound.
+func PredictedBroadcastAware(p int, sigma float64) float64 {
+	return LowerBoundBroadcast(p, sigma)
+}
+
+// --- Optimality theorem machinery (Section 3) ----------------------------
+
+// BetaPrime returns the optimality factor guaranteed on the D-BSP by
+// Theorem 3.4 for an (α, p)-wise algorithm that is β-optimal on the
+// evaluation model: β' = αβ/(1+α).
+func BetaPrime(alpha, beta float64) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	return alpha * beta / (1 + alpha)
+}
+
+// BetaPrimeFull returns the factor of Theorem 5.3 for a (γ, p)-full
+// algorithm executed with the ascend–descend protocol:
+// β' = Θ(β/((1+1/γ)·log²p)).
+func BetaPrimeFull(gamma, beta float64, p int) float64 {
+	if gamma <= 0 {
+		return 0
+	}
+	lg := log2(float64(p))
+	return beta / ((1 + 1/gamma) * lg * lg)
+}
+
+// CheckDomination verifies the hypothesis and conclusion of Lemma 3.3: if
+// prefix sums of xs are dominated by prefix sums of ys, then for every
+// nonincreasing nonnegative weight vector fs, Σ x_i f_i <= Σ y_i f_i.
+// It returns an error if the hypothesis holds but the conclusion fails
+// (which would indicate a broken implementation; used by property tests).
+func CheckDomination(xs, ys, fs []float64) error {
+	m := len(xs)
+	if len(ys) != m || len(fs) != m {
+		return fmt.Errorf("theory: CheckDomination: length mismatch")
+	}
+	for i := 0; i+1 < m; i++ {
+		if fs[i] < fs[i+1] {
+			return fmt.Errorf("theory: weights must be nonincreasing")
+		}
+	}
+	for i := 0; i < m; i++ {
+		if fs[i] < 0 {
+			return fmt.Errorf("theory: weights must be nonnegative")
+		}
+	}
+	var px, py float64
+	for k := 0; k < m; k++ {
+		px += xs[k]
+		py += ys[k]
+		if px > py+1e-9 {
+			return nil // hypothesis fails: nothing to check
+		}
+	}
+	var sx, sy float64
+	for i := 0; i < m; i++ {
+		sx += xs[i] * fs[i]
+		sy += ys[i] * fs[i]
+	}
+	if sx > sy+1e-6*(math.Abs(sy)+1) {
+		return fmt.Errorf("theory: Lemma 3.3 violated: Σx·f = %v > Σy·f = %v", sx, sy)
+	}
+	return nil
+}
+
+// SigmaWindow describes the per-level σ ranges [Min[j], Max[j]] over which
+// an algorithm has been certified β-optimal on M(2^{j+1}, σ); it is the
+// (σ^m, σ^M) pair of vectors of Theorem 3.4 (indexed 0..log p̂ - 1).
+type SigmaWindow struct {
+	Min, Max []float64
+}
+
+// AdmissibleRatioBand returns the band [lo, hi] that every ratio ℓ_i/g_i
+// of a p-processor D-BSP must lie in for Theorem 3.4 to apply:
+//
+//	lo = max_{1<=k<=log p} σ^m_{k-1}·2^k/p,   hi = min_k σ^M_{k-1}·2^k/p.
+func (w SigmaWindow) AdmissibleRatioBand(p int) (lo, hi float64, err error) {
+	lp := int(math.Round(math.Log2(float64(p))))
+	if lp < 1 || 1<<uint(lp) != p {
+		return 0, 0, fmt.Errorf("theory: p=%d not a power of two", p)
+	}
+	if len(w.Min) < lp || len(w.Max) < lp {
+		return 0, 0, fmt.Errorf("theory: σ-window has %d levels, need %d", len(w.Min), lp)
+	}
+	hi = math.Inf(1)
+	for k := 1; k <= lp; k++ {
+		scale := float64(int64(1)<<uint(k)) / float64(p)
+		if v := w.Min[k-1] * scale; v > lo {
+			lo = v
+		}
+		if v := w.Max[k-1] * scale; v < hi {
+			hi = v
+		}
+	}
+	if lo > hi {
+		return lo, hi, fmt.Errorf("theory: empty admissible band [%v, %v]", lo, hi)
+	}
+	return lo, hi, nil
+}
+
+// CheckTransfer verifies that a D-BSP machine satisfies all hypotheses of
+// Theorem 3.4 for the given σ-window: structural admissibility plus every
+// ℓ_i/g_i inside the window's band.  On success the theorem guarantees
+// that an (α, p̂)-wise, β-optimal-on-M(2^j, σ) algorithm is αβ/(1+α)-
+// optimal on the machine.
+func CheckTransfer(w SigmaWindow, pr dbsp.Params) error {
+	if err := pr.Admissible(); err != nil {
+		return err
+	}
+	lo, hi, err := w.AdmissibleRatioBand(pr.P)
+	if err != nil {
+		return err
+	}
+	for i := range pr.G {
+		r := pr.L[i] / pr.G[i]
+		if r < lo-1e-9 || r > hi+1e-9 {
+			return fmt.Errorf("theory: ℓ_%d/g_%d = %v outside admissible band [%v, %v] for machine %s", i, i, r, lo, hi, pr.Name)
+		}
+	}
+	return nil
+}
+
+// GapLowerBound is Theorem 4.16: for any network-oblivious n-broadcast
+// algorithm and 0 <= σ1 <= σ2, the maximum slowdown over σ in [σ1, σ2]
+// with respect to the best σ-aware algorithm is
+//
+//	GAP = Ω(log max{2,σ2} / (log max{2,σ1} + log log max{2,σ2})).
+func GapLowerBound(sigma1, sigma2 float64) float64 {
+	s1 := math.Max(2, sigma1)
+	s2 := math.Max(2, sigma2)
+	return math.Log2(s2) / (math.Log2(s1) + math.Log2(math.Max(2, math.Log2(s2))))
+}
