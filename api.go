@@ -9,9 +9,12 @@
 // of processors and any bandwidth/latency structure.  The framework's
 // three models and every metric in the paper are implemented executably:
 //
-//   - internal/core — the specification model M(v): goroutine-per-VP
-//     superstep runtime with labeled hierarchical barriers and exact
-//     communication-trace recording at every folding;
+//   - internal/core — the specification model M(v): a superstep runtime
+//     with labeled hierarchical barriers, exact communication-trace
+//     recording at every folding, and pluggable execution engines (a
+//     goroutine-per-VP reference engine and a sharded block-scheduled
+//     engine that runs the same programs, trace-identically, orders of
+//     magnitude cheaper at large v — see Engine);
 //   - internal/eval — the evaluation model M(p, σ): communication
 //     complexity H(n,p,σ) (Eq. 1), wiseness α (Def. 3.2), fullness γ
 //     (Def. 5.2), the Lemma 3.1 folding inequality;
@@ -51,8 +54,44 @@ type Program[P any] = core.Program[P]
 // algorithm on every folding, every σ, and every D-BSP machine.
 type Trace = core.Trace
 
-// RunOptions configures a specification-model run.
+// RunOptions configures a specification-model run: message recording and
+// the execution engine (RunOptions.Engine, nil for the default).
 type RunOptions = core.Options
+
+// Engine selects how M(v) is executed on the host.  Engines change only
+// scheduling cost, never semantics: every engine produces the identical
+// Trace for a valid program, a property enforced by the repository's
+// cross-engine equivalence tests.
+//
+// Selection guidance: the default BlockEngine is right for virtually all
+// workloads — it runs a worker per core and scales to millions of VPs.
+// The GoroutineEngine is the literal rendering of the model (one
+// goroutine per VP, per-cluster barriers); use it as the semantic oracle
+// when debugging the runtime itself, or to let independent deep-label
+// clusters proceed at different speeds.
+type Engine = core.Engine
+
+// GoroutineEngine is the reference engine: one goroutine per virtual
+// processor.
+type GoroutineEngine = core.GoroutineEngine
+
+// BlockEngine is the default engine: contiguous VP blocks driven by a
+// worker pool through tree barriers and bucketed message routing.
+type BlockEngine = core.BlockEngine
+
+// EngineByName resolves "goroutine" or "block" to an Engine, for wiring
+// to command-line flags.
+func EngineByName(name string) (Engine, error) { return core.EngineByName(name) }
+
+// EngineNames lists the selectable engine names.
+func EngineNames() []string { return core.EngineNames() }
+
+// DefaultEngine returns the engine used when RunOptions.Engine is nil.
+func DefaultEngine() Engine { return core.DefaultEngine() }
+
+// SetDefaultEngine changes the process-wide default engine and returns
+// the previous one.
+func SetDefaultEngine(e Engine) Engine { return core.SetDefaultEngine(e) }
 
 // Folding is the (F_i, S_i) view of an algorithm folded on p processors.
 type Folding = eval.Folding

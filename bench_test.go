@@ -440,6 +440,70 @@ func BenchmarkAblationPrefix(b *testing.B) {
 	}
 }
 
+// benchEngineWorkload runs a fixed superstep mix — exchanges at a deep
+// label, a mid label and the global label, as real algorithms do — on the
+// given engine and machine size.
+func benchEngineWorkload(b *testing.B, eng nob.Engine, v int) {
+	logV := core.Log2(v)
+	labels := []int{logV - 1, 2, 0}
+	if v < 8 {
+		labels = []int{0}
+	}
+	for i := 0; i < b.N; i++ {
+		_, err := core.RunOpt(v, func(vp *core.VP[int64]) {
+			var acc int64
+			for _, lab := range labels {
+				partner := vp.ID() ^ (v >> uint(lab+1))
+				vp.Send(partner, int64(vp.ID())+acc)
+				vp.Sync(lab)
+				if m, ok := vp.Receive(); ok {
+					acc += m
+				}
+			}
+			vp.Sync(0)
+		}, core.Options{Engine: eng})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(labels)+1), "supersteps")
+}
+
+// BenchmarkRun compares the execution engines on the superstep workload
+// across machine sizes: the headline series for the block-scheduled
+// runtime refactor.  BenchmarkRunLarge extends it to v = 2^16 and 2^18.
+func BenchmarkRun(b *testing.B) {
+	for _, engName := range []string{"goroutine", "block"} {
+		eng, err := nob.EngineByName(engName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lv := range []int{10, 12, 14} {
+			v := 1 << uint(lv)
+			b.Run(fmt.Sprintf("engine=%s/v=%d", engName, v), func(b *testing.B) {
+				benchEngineWorkload(b, eng, v)
+			})
+		}
+	}
+}
+
+// BenchmarkRunLarge is the large-machine tail of BenchmarkRun, split out
+// so quick smoke runs can match '^BenchmarkRun$' and skip it.
+func BenchmarkRunLarge(b *testing.B) {
+	for _, engName := range []string{"goroutine", "block"} {
+		eng, err := nob.EngineByName(engName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lv := range []int{16, 18} {
+			v := 1 << uint(lv)
+			b.Run(fmt.Sprintf("engine=%s/v=%d", engName, v), func(b *testing.B) {
+				benchEngineWorkload(b, eng, v)
+			})
+		}
+	}
+}
+
 // BenchmarkCoreBarrier measures the raw superstep engine: v VPs crossing
 // one barrier per superstep.
 func BenchmarkCoreBarrier(b *testing.B) {

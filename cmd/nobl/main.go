@@ -16,6 +16,8 @@
 //
 //	-quick    use reduced problem sizes
 //	-md       emit GitHub-flavored markdown instead of aligned text
+//	-engine   execution engine for all specification-model runs
+//	          (block, the sharded default, or goroutine, the reference)
 package main
 
 import (
@@ -33,8 +35,18 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	md := flag.Bool("md", false, "emit markdown tables")
+	engineName := flag.String("engine", core.DefaultEngine().Name(),
+		"execution engine: "+strings.Join(core.EngineNames(), "|"))
 	flag.Usage = usage
 	flag.Parse()
+	engine, err := core.EngineByName(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobl: %v\n", err)
+		os.Exit(2)
+	}
+	// Algorithm packages run the specification model internally; the
+	// process-wide default makes the flag reach every one of them.
+	core.SetDefaultEngine(engine)
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -53,7 +65,7 @@ func main() {
 				ids = append(ids, e.ID)
 			}
 		}
-		cfg := harness.Config{Quick: *quick}
+		cfg := harness.Config{Quick: *quick, Engine: engine}
 		for _, id := range ids {
 			e, ok := harness.ByID(id)
 			if !ok {
@@ -196,5 +208,6 @@ usage:
 flags:
   -quick   reduced problem sizes
   -md      markdown output
+  -engine  execution engine (block|goroutine)
 `)
 }

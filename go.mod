@@ -1,0 +1,3 @@
+module netoblivious
+
+go 1.24

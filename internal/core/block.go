@@ -1,0 +1,729 @@
+package core
+
+import (
+	"fmt"
+	"iter"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the BlockEngine: W workers, each owning the
+// contiguous block of v/W VPs [w·v/W, (w+1)·v/W), drive the machine
+// through supersteps in lockstep.
+//
+// A superstep is one pass of the worker loop:
+//
+//	resume  — the worker advances each of its live VPs to its next Sync
+//	          (or termination).  VPs are coroutines (iter.Pull), so a
+//	          resume is a direct stack switch — no channels, no scheduler
+//	          wakeup, no lock: the whole block is one logical thread and
+//	          its VP state needs no synchronization;
+//	barrier — workers meet at a sense-reversing tree barrier; worker 0
+//	          validates cluster completeness and the common label;
+//	send    — each worker checks confinement, counts sender-side degrees
+//	          and buckets its VPs' outboxes by destination worker;
+//	barrier — (so every bucket is complete before anyone drains it)
+//	receive — each worker drains the buckets addressed to it in source-
+//	          worker order, counting receiver-side degrees and bulk-
+//	          appending to its VPs' inboxes;
+//	barrier — worker 0 merges the per-worker partitions into one StepRec.
+//
+// Degree counters are partitioned so no two workers ever write the same
+// word: at fold levels with 2^j >= W every fold block lies inside exactly
+// one worker's VP range (W is a power of two), so a single global array
+// per level has disjoint per-worker index ranges — the sender side is
+// written by the source block's owner during send, the receiver side by
+// the destination block's owner during receive.  At coarse levels
+// (2^j < W) a fold block spans several workers, so each worker sums into
+// a private shard and worker 0 adds the shards at the merge barrier.
+// Message delivery needs no sort: workers scan their VPs in ascending
+// order and buckets are drained in ascending source-worker order, so
+// every inbox is built already sorted by (source, send order) exactly as
+// the GoroutineEngine produces it.
+
+const (
+	vpParked uint8 = iota // yielded at a Sync, waiting for delivery
+	vpFinished
+)
+
+// vpCoro is a reusable coroutine that executes one VP program per
+// activation and parks between jobs.  Creating a coroutine is the
+// dominant per-run cost of the BlockEngine (a fresh goroutine and stack
+// per VP), so finished coroutines are recycled through a process-wide
+// cache: steady-state workloads — benchmark loops, experiment suites,
+// servers running many machines — pay it only once.
+//
+// A coroutine is always in one of two parks: inside a job at a Sync
+// yield (during a run), or at the between-jobs yield (idle, cacheable).
+// Jobs recover their own panics, so a coroutine survives program
+// failures and remains reusable.  next/stop may be called from any
+// goroutine as long as calls are serialized, which the owning worker
+// (during a run) and the cache mutex (between runs) guarantee.
+type vpCoro struct {
+	next func() (struct{}, bool)
+	stop func()
+	job  func(yield func() bool) // set by the owner before resuming
+}
+
+func newVPCoro() *vpCoro {
+	c := &vpCoro{}
+	c.next, c.stop = iter.Pull(func(yield func(struct{}) bool) {
+		y := func() bool { return yield(struct{}{}) }
+		for {
+			job := c.job
+			if job == nil {
+				return
+			}
+			job(y)
+			c.job = nil
+			if !yield(struct{}{}) {
+				return // torn down while idle
+			}
+		}
+	})
+	return c
+}
+
+// coroCache is a bounded LIFO free list of idle coroutines.  Parked
+// goroutines are GC roots — an evicted-but-running coroutine would leak
+// its stack forever — so the cache never "drops" a coroutine: beyond the
+// cap it is explicitly stopped, which unwinds and frees it.
+type coroCache struct {
+	mu   sync.Mutex
+	free []*vpCoro
+}
+
+// maxPooledVPCoros bounds the idle coroutines kept for reuse.  Entries
+// exist only if a past run needed them, and the GC shrinks idle stacks,
+// but a process that once ran a machine with >= 2^16 VPs retains up to
+// 2^16 parked coroutines (order of 100 MB) until it exits — a deliberate
+// trade: such a process already allocated several times that transiently
+// during the run, and repeating large runs is the common case.
+const maxPooledVPCoros = 1 << 16
+
+var vpCoros coroCache
+
+// take returns n coroutine slots, the first ones warm from the cache and
+// the rest nil (the caller creates those).
+func (cc *coroCache) take(n int) []*vpCoro {
+	out := make([]*vpCoro, n)
+	cc.mu.Lock()
+	k := len(cc.free)
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		out[i] = cc.free[len(cc.free)-1-i]
+		cc.free[len(cc.free)-1-i] = nil
+	}
+	cc.free = cc.free[:len(cc.free)-k]
+	doomed := cc.decayLocked()
+	cc.mu.Unlock()
+	stopAll(doomed)
+	return out
+}
+
+// put returns idle coroutines to the cache.  The cache may transiently
+// exceed its cap — repeated large runs then keep reusing the full set —
+// and decays back toward the cap a fraction per call, so a genuine
+// downshift in machine size releases the excess within a few runs.
+func (cc *coroCache) put(batch []*vpCoro) {
+	cc.mu.Lock()
+	cc.free = append(cc.free, batch...)
+	doomed := cc.decayLocked()
+	cc.mu.Unlock()
+	stopAll(doomed)
+}
+
+// decayLocked removes an eighth of the over-cap excess from the free
+// list and returns it for teardown outside the lock.
+func (cc *coroCache) decayLocked() []*vpCoro {
+	excess := len(cc.free) - maxPooledVPCoros
+	if excess <= 0 {
+		return nil
+	}
+	n := (excess + 7) / 8
+	doomed := make([]*vpCoro, n)
+	copy(doomed, cc.free[len(cc.free)-n:])
+	for i := len(cc.free) - n; i < len(cc.free); i++ {
+		cc.free[i] = nil
+	}
+	cc.free = cc.free[:len(cc.free)-n]
+	return doomed
+}
+
+// stopAll unwinds idle coroutines, freeing their goroutines and stacks.
+func stopAll(doomed []*vpCoro) {
+	for _, c := range doomed {
+		c.stop()
+	}
+}
+
+const (
+	phaseDeliver = iota // valid superstep: run send/receive/merge
+	phaseDrain          // aborted: resume parked VPs so they unwind
+	phaseDone           // all VPs finished (or fully drained): exit
+)
+
+// routedMsg is a staged message en route between workers.
+type routedMsg[P any] struct {
+	src, dst int32
+	dummy    bool
+	payload  P
+}
+
+// blockRun is the per-run state of the BlockEngine.
+type blockRun[P any] struct {
+	m  *machine[P]
+	w  int // worker count: power of two, <= v
+	bs int // block size v/w
+
+	coro    []*vpCoro     // per-VP coroutine, driven by the owning worker
+	yieldFn []func() bool // per-VP Sync suspension point
+	state   []uint8       // vpParked/vpFinished
+	label   []int32       // label of the Sync the VP is parked at
+
+	bar *treeBarrier
+
+	liveCount []int64 // per worker: parked VPs after the resume phase
+	msgCount  []int64 // per worker: staged messages across parked VPs
+
+	outBuckets [][][]routedMsg[P] // [srcWorker][dstWorker]
+
+	sentG, recvG [][]int32   // [level][globalBlock]; nil at coarse levels
+	sentL, recvL [][][]int32 // [worker][level][block]; nil at fine levels
+	localMax     [][]int32   // [worker][level] partition maxima
+	pairShard    [][][2]int32
+
+	// Coordinator state, written by worker 0 inside a barrier and read by
+	// every worker after its release.
+	stepIdx   int
+	stepLabel int
+	stepMsgs  int64
+	phase     int
+}
+
+// runBlockEngine executes prog on m with W block-scheduled workers.
+func runBlockEngine[P any](m *machine[P], prog Program[P], W int) {
+	b := &blockRun[P]{m: m, w: W, bs: m.v / W}
+	m.block = b
+	b.coro = make([]*vpCoro, m.v)
+	b.yieldFn = make([]func() bool, m.v)
+	b.state = make([]uint8, m.v)
+	b.label = make([]int32, m.v)
+	b.bar = newTreeBarrier(W)
+	b.liveCount = make([]int64, W)
+	b.msgCount = make([]int64, W)
+	b.outBuckets = make([][][]routedMsg[P], W)
+	b.sentL = make([][][]int32, W)
+	b.recvL = make([][][]int32, W)
+	b.localMax = make([][]int32, W)
+	for w := 0; w < W; w++ {
+		b.outBuckets[w] = make([][]routedMsg[P], W)
+		b.sentL[w] = make([][]int32, m.logV+1)
+		b.recvL[w] = make([][]int32, m.logV+1)
+		b.localMax[w] = make([]int32, m.logV+1)
+	}
+	b.sentG = make([][]int32, m.logV+1)
+	b.recvG = make([][]int32, m.logV+1)
+	for j := 1; j <= m.logV; j++ {
+		nb := 1 << uint(j)
+		if nb >= W {
+			b.sentG[j] = make([]int32, nb)
+			b.recvG[j] = make([]int32, nb)
+		} else {
+			for w := 0; w < W; w++ {
+				b.sentL[w][j] = make([]int32, nb)
+				b.recvL[w][j] = make([]int32, nb)
+			}
+		}
+	}
+	if m.opts.RecordMessages {
+		b.pairShard = make([][][2]int32, W)
+	}
+	var wg sync.WaitGroup
+	wg.Add(W)
+	for w := 0; w < W; w++ {
+		go func(w int) {
+			defer wg.Done()
+			b.worker(w, prog)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// makeVP installs VP r's program as the job of a (possibly recycled)
+// coroutine.  The job recovers its own panics — so the coroutine stays
+// reusable — and performs the end-of-program staged-message check.
+func (b *blockRun[P]) makeVP(r int, c *vpCoro, prog Program[P]) {
+	m := b.m
+	vp := &m.vps[r]
+	b.coro[r] = c
+	c.job = func(yield func() bool) {
+		defer func() {
+			if e := recover(); e != nil {
+				if _, ok := e.(abortSentinel); !ok {
+					m.fail(fmt.Errorf("core: VP %d panicked: %v\n%s", r, e, debug.Stack()))
+				}
+			}
+			b.state[r] = vpFinished
+			m.finished.Add(1)
+		}()
+		if m.aborted.Load() {
+			return
+		}
+		b.yieldFn[r] = yield
+		prog(vp)
+		if len(vp.outbox) > 0 {
+			m.fail(fmt.Errorf("core: VP %d terminated with %d staged messages; programs must end with a Sync", r, len(vp.outbox)))
+		}
+	}
+}
+
+// sync implements VP.Sync under the BlockEngine: publish the label and
+// suspend the coroutine until the worker resumes it for the next
+// superstep.  A false yield means the coroutine is being torn down.
+func (b *blockRun[P]) sync(vp *VP[P], label int) {
+	r := vp.id
+	b.label[r] = int32(label)
+	b.state[r] = vpParked
+	if !b.yieldFn[r]() {
+		panic(abortSentinel{})
+	}
+	if b.m.aborted.Load() {
+		panic(abortSentinel{})
+	}
+}
+
+// worker drives the VP block [w·bs, (w+1)·bs) through supersteps.
+func (b *blockRun[P]) worker(w int, prog Program[P]) {
+	m := b.m
+	lo, hi := w*b.bs, (w+1)*b.bs
+	batch := vpCoros.take(hi - lo)
+	for i, r := 0, lo; r < hi; i, r = i+1, r+1 {
+		c := batch[i]
+		if c == nil {
+			c = newVPCoro()
+		}
+		batch[i] = nil
+		b.makeVP(r, c, prog)
+	}
+	idle := batch[:0] // finished coroutines, returned to the cache on exit
+	for {
+		// Resume phase: advance every live VP to its next yield point.
+		// After an abort this same sweep drains: resumed VPs observe the
+		// failure in Sync, unwind, and finish without parking.
+		var live, msgs int64
+		for r := lo; r < hi; r++ {
+			if b.state[r] == vpFinished {
+				continue
+			}
+			if _, ok := b.coro[r].next(); !ok || b.state[r] == vpFinished {
+				// Program complete: recycle the coroutine, now parked
+				// between jobs.  ok == false means the coroutine itself
+				// exited (e.g. a Goexit in VP code) and is not reusable.
+				if ok {
+					idle = append(idle, b.coro[r])
+				}
+				b.state[r] = vpFinished
+				b.coro[r] = nil
+				b.yieldFn[r] = nil
+				continue
+			}
+			live++
+			msgs += int64(len(m.vps[r].outbox))
+		}
+		b.liveCount[w] = live
+		b.msgCount[w] = msgs
+		b.bar.arrive(w, b.coordinate)
+		switch b.phase {
+		case phaseDone:
+			vpCoros.put(idle)
+			return
+		case phaseDrain:
+			continue
+		}
+		b.sendPhase(w, lo, hi)
+		b.bar.arrive(w, nil)
+		b.recvPhase(w, lo, hi)
+		b.bar.arrive(w, b.mergeStep)
+	}
+}
+
+// coordinate runs on worker 0 between the gather and release of the
+// post-resume barrier: it validates that every parked cluster is complete
+// and label-consistent and publishes the superstep's label and message
+// total, or flips the run into the drain phase on error.
+func (b *blockRun[P]) coordinate() {
+	m := b.m
+	var live, msgs int64
+	for w := 0; w < b.w; w++ {
+		live += b.liveCount[w]
+		msgs += b.msgCount[w]
+	}
+	if m.aborted.Load() {
+		if live == 0 {
+			b.phase = phaseDone
+		} else {
+			b.phase = phaseDrain
+		}
+		return
+	}
+	if live == 0 {
+		b.phase = phaseDone
+		return
+	}
+	v := m.v
+	label := -1
+	for r := 0; r < v; {
+		if b.state[r] == vpFinished {
+			r++
+			continue
+		}
+		l := int(b.label[r])
+		size := v >> uint(l)
+		first := r / size * size
+		if first != r {
+			// An earlier member of r's cluster finished or synchronized
+			// elsewhere, so this cluster can never complete.
+			m.fail(fmt.Errorf("core: superstep %d: VP %d reached Sync(%d) but its %d-cluster [%d, %d) did not synchronize together; the label sequence must be identical on every VP", b.stepIdx, r, l, l, first, first+size))
+			b.phase = phaseDrain
+			return
+		}
+		for s := r; s < r+size; s++ {
+			if b.state[s] == vpFinished {
+				m.fail(fmt.Errorf("core: deadlock: VP %d is blocked at a Sync(%d) barrier of superstep %d that VP %d already terminated before (mismatched superstep counts)", r, l, b.stepIdx, s))
+				b.phase = phaseDrain
+				return
+			}
+			if int(b.label[s]) != l {
+				m.fail(fmt.Errorf("core: VPs of %d-cluster %d reached superstep %d with different sync labels (%d vs %d); the label sequence must be identical on every VP", l, r/size, b.stepIdx, l, b.label[s]))
+				b.phase = phaseDrain
+				return
+			}
+		}
+		if label == -1 {
+			label = l
+		} else if label != l {
+			m.fail(fmt.Errorf("core: superstep %d has mismatched sync labels %d and %d across clusters; network-oblivious algorithms must use the same label sequence on every VP", b.stepIdx, label, l))
+			b.phase = phaseDrain
+			return
+		}
+		r += size
+	}
+	b.stepLabel = label
+	b.stepMsgs = msgs
+	b.phase = phaseDeliver
+}
+
+// partition returns the index range of worker w in the global counter
+// array of a fine fold level j (2^j >= W blocks).
+func (b *blockRun[P]) partition(w, j int) (int, int) {
+	per := (1 << uint(j)) / b.w
+	return w * per, (w + 1) * per
+}
+
+// deliverSequential is the single-worker fast path: with the whole
+// machine in one block there is nothing to route between workers, so
+// confinement checks, both counter sides and inbox delivery fuse into
+// one ascending pass over the outboxes — the same work the worker pair
+// of phases would do, minus the bucket hop.
+func (b *blockRun[P]) deliverSequential() {
+	m := b.m
+	label, logV := b.stepLabel, m.logV
+	for r := 0; r < m.v; r++ {
+		if b.state[r] == vpParked {
+			m.vps[r].inbox = m.vps[r].inbox[:0]
+		}
+	}
+	if b.stepMsgs == 0 {
+		return
+	}
+	for j := label + 1; j <= logV; j++ {
+		clear(b.sentG[j])
+		clear(b.recvG[j])
+	}
+	size := m.v >> uint(label)
+	for r := 0; r < m.v; r++ {
+		vp := &m.vps[r]
+		if b.state[r] != vpParked || len(vp.outbox) == 0 {
+			continue
+		}
+		first := r / size * size
+		for _, msg := range vp.outbox {
+			if msg.dst < first || msg.dst >= first+size {
+				m.fail(fmt.Errorf("core: superstep %d: VP %d sent a message to VP %d outside its %d-cluster [%d, %d); messages of an i-superstep must stay within i-clusters",
+					b.stepIdx, r, msg.dst, label, first, first+size))
+				return
+			}
+			for j := logV; j > label; j-- {
+				sb := r >> uint(logV-j)
+				db := msg.dst >> uint(logV-j)
+				if sb == db {
+					break
+				}
+				b.sentG[j][sb]++
+				b.recvG[j][db]++
+			}
+			if b.pairShard != nil {
+				b.pairShard[0] = append(b.pairShard[0], [2]int32{int32(r), int32(msg.dst)})
+			}
+			if !msg.dummy {
+				dst := &m.vps[msg.dst]
+				dst.inbox = append(dst.inbox, Message[P]{Src: r, Dst: msg.dst, Payload: msg.payload})
+			}
+		}
+		vp.outbox = vp.outbox[:0]
+	}
+	for j := label + 1; j <= logV; j++ {
+		sg, rg := b.sentG[j], b.recvG[j]
+		var mx int32
+		for i := range sg {
+			if sg[i] > mx {
+				mx = sg[i]
+			}
+			if rg[i] > mx {
+				mx = rg[i]
+			}
+		}
+		b.localMax[0][j] = mx
+	}
+}
+
+// sendPhase checks cluster confinement, accumulates the sender side of
+// the h-relation counters and buckets the worker's staged messages by
+// destination worker.
+func (b *blockRun[P]) sendPhase(w, lo, hi int) {
+	m := b.m
+	if b.w == 1 {
+		b.deliverSequential()
+		return
+	}
+	label, logV := b.stepLabel, m.logV
+	if b.stepMsgs > 0 {
+		for j := label + 1; j <= logV; j++ {
+			if sg := b.sentG[j]; sg != nil {
+				plo, phi := b.partition(w, j)
+				clear(sg[plo:phi])
+				clear(b.recvG[j][plo:phi])
+			} else {
+				clear(b.sentL[w][j])
+				clear(b.recvL[w][j])
+			}
+			b.localMax[w][j] = 0
+		}
+	}
+	size := m.v >> uint(label)
+	for r := lo; r < hi; r++ {
+		vp := &m.vps[r]
+		if b.state[r] != vpParked || len(vp.outbox) == 0 {
+			continue
+		}
+		first := r / size * size
+		for _, msg := range vp.outbox {
+			if msg.dst < first || msg.dst >= first+size {
+				m.fail(fmt.Errorf("core: superstep %d: VP %d sent a message to VP %d outside its %d-cluster [%d, %d); messages of an i-superstep must stay within i-clusters",
+					b.stepIdx, r, msg.dst, label, first, first+size))
+				return
+			}
+			for j := logV; j > label; j-- {
+				sb := r >> uint(logV-j)
+				db := msg.dst >> uint(logV-j)
+				if sb == db {
+					break // equal here implies equal at every coarser fold
+				}
+				if sg := b.sentG[j]; sg != nil {
+					sg[sb]++
+				} else {
+					b.sentL[w][j][sb]++
+				}
+			}
+			if b.pairShard != nil {
+				b.pairShard[w] = append(b.pairShard[w], [2]int32{int32(r), int32(msg.dst)})
+			}
+			dw := msg.dst / b.bs
+			b.outBuckets[w][dw] = append(b.outBuckets[w][dw], routedMsg[P]{src: int32(r), dst: int32(msg.dst), dummy: msg.dummy, payload: msg.payload})
+		}
+		vp.outbox = vp.outbox[:0]
+	}
+}
+
+// recvPhase resets the inboxes of the worker's parked VPs (BSP discard
+// semantics), drains the buckets addressed to this worker in ascending
+// source-worker order — preserving the (source, send order) inbox
+// invariant without a sort — and accumulates the receiver side of the
+// h-relation counters plus the worker's partition maxima.
+func (b *blockRun[P]) recvPhase(w, lo, hi int) {
+	m := b.m
+	if b.w == 1 {
+		return // deliverSequential already did the receive side
+	}
+	for r := lo; r < hi; r++ {
+		if b.state[r] == vpParked {
+			vp := &m.vps[r]
+			vp.inbox = vp.inbox[:0]
+		}
+	}
+	if b.stepMsgs == 0 {
+		return
+	}
+	label, logV := b.stepLabel, m.logV
+	for src := 0; src < b.w; src++ {
+		bucket := b.outBuckets[src][w]
+		for i := range bucket {
+			msg := &bucket[i]
+			for j := logV; j > label; j-- {
+				sb := int(msg.src) >> uint(logV-j)
+				db := int(msg.dst) >> uint(logV-j)
+				if sb == db {
+					break
+				}
+				if rg := b.recvG[j]; rg != nil {
+					rg[db]++
+				} else {
+					b.recvL[w][j][db]++
+				}
+			}
+			if !msg.dummy {
+				dst := &m.vps[msg.dst]
+				dst.inbox = append(dst.inbox, Message[P]{Src: int(msg.src), Dst: int(msg.dst), Payload: msg.payload})
+			}
+		}
+		b.outBuckets[src][w] = bucket[:0]
+	}
+	for j := label + 1; j <= logV; j++ {
+		sg := b.sentG[j]
+		if sg == nil {
+			continue
+		}
+		rg := b.recvG[j]
+		plo, phi := b.partition(w, j)
+		var mx int32
+		for i := plo; i < phi; i++ {
+			if sg[i] > mx {
+				mx = sg[i]
+			}
+			if rg[i] > mx {
+				mx = rg[i]
+			}
+		}
+		b.localMax[w][j] = mx
+	}
+}
+
+// mergeStep runs on worker 0 at the end-of-superstep barrier: it reduces
+// the per-worker partitions into the superstep's StepRec — the only place
+// the BlockEngine touches the Trace, once per superstep.
+func (b *blockRun[P]) mergeStep() {
+	m := b.m
+	if m.aborted.Load() {
+		return // the run is unwinding; the trace will be discarded
+	}
+	label, logV := b.stepLabel, m.logV
+	nLevels := logV - label
+	levelMax := make([]int64, nLevels)
+	var pairs [][2]int32
+	if b.stepMsgs > 0 {
+		for j := label + 1; j <= logV; j++ {
+			var mx int32
+			if b.sentG[j] != nil {
+				for w := 0; w < b.w; w++ {
+					if b.localMax[w][j] > mx {
+						mx = b.localMax[w][j]
+					}
+				}
+			} else {
+				nb := 1 << uint(j)
+				for blk := 0; blk < nb; blk++ {
+					var s, rc int32
+					for w := 0; w < b.w; w++ {
+						s += b.sentL[w][j][blk]
+						rc += b.recvL[w][j][blk]
+					}
+					if s > mx {
+						mx = s
+					}
+					if rc > mx {
+						mx = rc
+					}
+				}
+			}
+			levelMax[j-label-1] = int64(mx)
+		}
+		if b.pairShard != nil {
+			pairs = make([][2]int32, 0, b.stepMsgs)
+			for w := 0; w < b.w; w++ {
+				pairs = append(pairs, b.pairShard[w]...)
+				b.pairShard[w] = b.pairShard[w][:0]
+			}
+		}
+	}
+	if err := m.trace.merge(b.stepIdx, label, levelMax, b.stepMsgs, pairs); err != nil {
+		m.fail(err)
+		return
+	}
+	b.stepIdx++
+}
+
+// treeBarrier is a sense-reversing tree barrier over W workers (MCS
+// style): worker w's node has children 2w+1 and 2w+2; a worker gathers
+// its children's arrival flags, flips its slot in its parent's node, and
+// waits for the release sense to propagate back down.  Worker 0 is the
+// root and runs the barrier action, if any, between the last arrival and
+// the release.  All flags are sense-reversed epochs, so no state is ever
+// reset between rounds.  Waiters yield the processor between polls: while
+// a barrier is pending every VP goroutine is blocked on its handoff
+// channel, so only the W workers (W <= GOMAXPROCS by default) compete
+// for it.
+type treeBarrier struct {
+	nodes []tbNode
+}
+
+type tbNode struct {
+	arrived [2]atomic.Uint32 // flipped by each child on arrival
+	release atomic.Uint32    // flipped by the parent on release
+	sense   uint32           // owner-local: epoch of the next round
+	_       [48]byte         // pad to 64 bytes: one node per cache line
+}
+
+func newTreeBarrier(w int) *treeBarrier {
+	tb := &treeBarrier{nodes: make([]tbNode, w)}
+	for i := range tb.nodes {
+		tb.nodes[i].sense = 1
+	}
+	return tb
+}
+
+// arrive blocks until all workers have arrived.  action, if non-nil, is
+// executed by worker 0 after every worker has arrived and before any is
+// released.
+func (tb *treeBarrier) arrive(w int, action func()) {
+	n := &tb.nodes[w]
+	next := n.sense
+	for c := 0; c < 2; c++ {
+		if 2*w+1+c < len(tb.nodes) {
+			for n.arrived[c].Load() != next {
+				runtime.Gosched()
+			}
+		}
+	}
+	if w == 0 {
+		if action != nil {
+			action()
+		}
+	} else {
+		parent := &tb.nodes[(w-1)/2]
+		parent.arrived[(w-1)%2].Store(next)
+		for n.release.Load() != next {
+			runtime.Gosched()
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if child := 2*w + 1 + c; child < len(tb.nodes) {
+			tb.nodes[child].release.Store(next)
+		}
+	}
+	n.sense = next + 1
+}

@@ -33,9 +33,47 @@
 // and fullness γ (Def. 5.2) — are exact functions of the Trace and are
 // computed by the companion packages internal/eval and internal/dbsp.
 //
-// Each VP runs on its own goroutine; Sync parks the goroutine on the
-// barrier of its cluster, so different clusters may proceed through their
-// (identical) label sequences at different speeds, exactly as the model
-// allows.  Message delivery is deterministic: the messages a VP finds in
-// its inbox are ordered by (source VP, send order).
+// # Execution engines
+//
+// How the v virtual processors are scheduled on the host is pluggable
+// through the Engine interface; two engines are provided:
+//
+//   - GoroutineEngine — the reference: one goroutine per VP, parked on
+//     per-cluster condition-variable barriers.  Sync parks the goroutine
+//     on the barrier of its cluster, so different clusters may proceed
+//     through their (identical) label sequences at different speeds,
+//     exactly as the model allows.  Wakeups broadcast to whole clusters
+//     and every barrier completion serializes on the trace mutex, so
+//     scheduler churn dominates beyond a few thousand VPs.
+//
+//   - BlockEngine (the default) — W workers (a power of two, by default
+//     the largest not exceeding GOMAXPROCS) each own a contiguous block
+//     of v/W VPs, the same folding the paper uses to execute M(v) on a
+//     p-processor machine.  VPs are coroutines (iter.Pull) resumed by
+//     their worker through direct stack switches — no scheduler, no
+//     locks — and recycled through a process-wide cache across runs;
+//     workers meet at a sense-reversing tree barrier once per superstep;
+//     messages route through per-worker destination-bucketed outboxes
+//     (bulk appends, no per-message locking); and h-relation counters
+//     accumulate in per-worker partitions merged once per barrier,
+//     keeping the trace mutex off the hot path.  All clusters advance
+//     superstep-synchronously.
+//
+// # Determinism guarantees
+//
+// Engines differ only in scheduling cost, never in observable semantics.
+// For every valid program, on every engine, at every worker count:
+//
+//   - message delivery is deterministic — the messages a VP finds in its
+//     inbox are ordered by (source VP, send order);
+//   - the recorded Trace is identical: Steps, Labels, Degrees at every
+//     fold, and Messages match entry for entry (StepRec.Pairs is
+//     order-free on every engine; its multiset is identical);
+//   - invalid programs (cluster-escaping messages, divergent label
+//     sequences, uneven superstep counts, panics) are reported as errors
+//     on every engine, never hangs — the engines may detect a violation
+//     at different points, so only the error class is portable.
+//
+// The cross-engine equivalence tests (core and harness packages) enforce
+// all three properties on every algorithm in the repository.
 package core

@@ -27,6 +27,11 @@ type Options struct {
 	// and by debugging tools, and costs memory proportional to the total
 	// message count.
 	RecordMessages bool
+
+	// Engine selects the execution engine.  nil uses DefaultEngine().
+	// Every engine produces the same Trace for valid programs; see the
+	// Engine documentation for the trade-offs.
+	Engine Engine
 }
 
 // Program is the code executed by every virtual processor of M(v).  The
@@ -54,8 +59,9 @@ type machine[P any] struct {
 	labelBound int
 	opts       Options
 	trace      *Trace
-	vps        []*VP[P]
-	barriers   [][]*barrier // [label][cluster]
+	vps        []VP[P]      // contiguous: the VP hot loops walk them in order
+	barriers   [][]*barrier // [label][cluster]; GoroutineEngine only
+	block      *blockRun[P] // non-nil under BlockEngine
 
 	failOnce sync.Once
 	errMu    sync.Mutex
@@ -156,6 +162,19 @@ func (vp *VP[P]) Sync(label int) {
 		m.fail(fmt.Errorf("core: VP %d: Sync label %d out of range [0, %d)", vp.id, label, m.labelBound))
 		panic(abortSentinel{})
 	}
+	if m.block != nil {
+		m.block.sync(vp, label)
+	} else {
+		vp.syncGoroutine(label)
+	}
+	vp.step++
+	vp.rpos = 0
+}
+
+// syncGoroutine is the GoroutineEngine barrier: park on the cluster's
+// condition variable; the last arriver delivers the cluster's messages.
+func (vp *VP[P]) syncGoroutine(label int) {
+	m := vp.m
 	cluster := 0
 	if label > 0 {
 		cluster = vp.id >> uint(m.logV-label)
@@ -198,8 +217,6 @@ func (vp *VP[P]) Sync(label int) {
 			panic(abortSentinel{})
 		}
 	}
-	vp.step++
-	vp.rpos = 0
 }
 
 // deliver routes the messages staged by the VPs in [first, first+size),
@@ -209,8 +226,8 @@ func (vp *VP[P]) Sync(label int) {
 func (m *machine[P]) deliver(label, first, size, step int) error {
 	vps := m.vps[first : first+size]
 	var total int64
-	for _, vp := range vps {
-		total += int64(len(vp.outbox))
+	for i := range vps {
+		total += int64(len(vps[i].outbox))
 	}
 
 	nLevels := m.logV - label // folds j in (label, logV]
@@ -233,7 +250,7 @@ func (m *machine[P]) deliver(label, first, size, step int) error {
 	}
 
 	for w := first; w < first+size; w++ {
-		src := m.vps[w]
+		src := &m.vps[w]
 		if len(src.outbox) == 0 {
 			continue
 		}
@@ -268,18 +285,18 @@ func (m *machine[P]) deliver(label, first, size, step int) error {
 			m.vps[w].inbox = m.vps[w].inbox[:0]
 		}
 		for w := first; w < first+size; w++ {
-			src := m.vps[w]
+			src := &m.vps[w]
 			for _, msg := range src.outbox {
 				if !msg.dummy {
-					dst := m.vps[msg.dst]
+					dst := &m.vps[msg.dst]
 					dst.inbox = append(dst.inbox, Message[P]{Src: w, Dst: msg.dst, Payload: msg.payload})
 				}
 			}
 			src.outbox = src.outbox[:0]
 		}
 	} else {
-		for _, vp := range vps {
-			vp.inbox = vp.inbox[:0]
+		for i := range vps {
+			vps[i].inbox = vps[i].inbox[:0]
 		}
 	}
 
@@ -346,15 +363,22 @@ func newMachine[P any](v int, opts Options) *machine[P] {
 		opts:       opts,
 		trace:      newTrace(v, logV),
 	}
-	m.vps = make([]*VP[P], v)
+	m.vps = make([]VP[P], v)
 	for r := 0; r < v; r++ {
-		m.vps[r] = &VP[P]{id: r, m: m}
+		m.vps[r] = VP[P]{id: r, m: m}
 	}
-	m.barriers = make([][]*barrier, labelBound)
-	for i := 0; i < labelBound; i++ {
+	return m
+}
+
+// initBarriers allocates the per-cluster barrier tree used by the
+// GoroutineEngine.  The BlockEngine synchronizes workers instead of VPs
+// and never needs it.
+func (m *machine[P]) initBarriers() {
+	m.barriers = make([][]*barrier, m.labelBound)
+	for i := 0; i < m.labelBound; i++ {
 		n := 1 << uint(i)
-		if n > v {
-			n = v
+		if n > m.v {
+			n = m.v
 		}
 		m.barriers[i] = make([]*barrier, n)
 		for c := range m.barriers[i] {
@@ -363,14 +387,14 @@ func newMachine[P any](v int, opts Options) *machine[P] {
 			m.barriers[i][c] = b
 		}
 	}
-	return m
 }
 
 // Run executes prog on a specification machine M(v) with v virtual
 // processors (v must be a positive power of two) and returns the recorded
 // communication Trace.  It returns an error if the program violates the
 // model's restrictions (cluster-confined messages, identical label
-// sequences, terminating Sync) or panics.
+// sequences, terminating Sync) or panics.  The program runs on the
+// process-wide DefaultEngine; use RunOpt to pick one explicitly.
 func Run[P any](v int, prog Program[P]) (*Trace, error) {
 	return RunOpt(v, prog, Options{})
 }
@@ -383,16 +407,23 @@ func RunOpt[P any](v int, prog Program[P], opts Options) (*Trace, error) {
 	if prog == nil {
 		return nil, fmt.Errorf("core: nil program")
 	}
-	m := newMachine[P](v, opts)
-	var wg sync.WaitGroup
-	wg.Add(v)
-	for r := 0; r < v; r++ {
-		go func(r int) {
-			defer wg.Done()
-			m.runVP(r, prog)
-		}(r)
+	eng := opts.Engine
+	if eng == nil {
+		eng = DefaultEngine()
 	}
-	wg.Wait()
+	m := newMachine[P](v, opts)
+	switch e := eng.(type) {
+	case GoroutineEngine:
+		m.runGoroutineEngine(prog)
+	case *GoroutineEngine:
+		m.runGoroutineEngine(prog)
+	case BlockEngine:
+		runBlockEngine(m, prog, e.workerCount(v))
+	case *BlockEngine:
+		runBlockEngine(m, prog, e.workerCount(v))
+	default:
+		return nil, fmt.Errorf("core: unknown engine %q", eng.Name())
+	}
 	m.errMu.Lock()
 	err := m.err
 	m.errMu.Unlock()
@@ -402,15 +433,30 @@ func RunOpt[P any](v int, prog Program[P], opts Options) (*Trace, error) {
 	// The label-sequence restriction also requires every VP to execute
 	// the same number of supersteps.
 	steps := m.vps[0].step
-	for _, vp := range m.vps {
-		if vp.step != steps {
-			return nil, fmt.Errorf("core: VPs executed different numbers of supersteps (%d vs %d on VP %d)", steps, vp.step, vp.id)
+	for i := range m.vps {
+		if m.vps[i].step != steps {
+			return nil, fmt.Errorf("core: VPs executed different numbers of supersteps (%d vs %d on VP %d)", steps, m.vps[i].step, m.vps[i].id)
 		}
 	}
 	if steps != len(m.trace.Steps) {
 		return nil, fmt.Errorf("core: internal error: %d supersteps executed but %d recorded", steps, len(m.trace.Steps))
 	}
 	return m.trace, nil
+}
+
+// runGoroutineEngine spawns one goroutine per VP and waits for all of
+// them; clusters self-synchronize on the barrier tree.
+func (m *machine[P]) runGoroutineEngine(prog Program[P]) {
+	m.initBarriers()
+	var wg sync.WaitGroup
+	wg.Add(m.v)
+	for r := 0; r < m.v; r++ {
+		go func(r int) {
+			defer wg.Done()
+			m.runVP(r, prog)
+		}(r)
+	}
+	wg.Wait()
 }
 
 func (m *machine[P]) runVP(r int, prog Program[P]) {
@@ -423,7 +469,7 @@ func (m *machine[P]) runVP(r int, prog Program[P]) {
 		m.finished.Add(1)
 		m.checkDeadlock()
 	}()
-	vp := m.vps[r]
+	vp := &m.vps[r]
 	prog(vp)
 	if len(vp.outbox) > 0 {
 		m.fail(fmt.Errorf("core: VP %d terminated with %d staged messages; programs must end with a Sync", r, len(vp.outbox)))

@@ -8,36 +8,41 @@ import (
 	"time"
 )
 
+// testEngines are the engines every robustness scenario runs on.
+var testEngines = []Engine{GoroutineEngine{}, BlockEngine{}, BlockEngine{Workers: 2}}
+
 // TestRandomFailureInjection: programs that panic on arbitrary VPs at
 // arbitrary supersteps must surface an error quickly — never hang, never
 // crash the process.
 func TestRandomFailureInjection(t *testing.T) {
-	rng := rand.New(rand.NewSource(13))
-	for trial := 0; trial < 40; trial++ {
-		v := 1 << uint(1+rng.Intn(5))
-		steps := 1 + rng.Intn(5)
-		failVP := rng.Intn(v)
-		failStep := rng.Intn(steps)
-		done := make(chan error, 1)
-		go func() {
-			_, err := Run(v, func(vp *VP[int]) {
-				for s := 0; s < steps; s++ {
-					if vp.ID() == failVP && s == failStep {
-						panic(fmt.Sprintf("injected-%d", trial))
+	for _, eng := range testEngines {
+		rng := rand.New(rand.NewSource(13))
+		for trial := 0; trial < 40; trial++ {
+			v := 1 << uint(1+rng.Intn(5))
+			steps := 1 + rng.Intn(5)
+			failVP := rng.Intn(v)
+			failStep := rng.Intn(steps)
+			done := make(chan error, 1)
+			go func() {
+				_, err := RunOpt(v, func(vp *VP[int]) {
+					for s := 0; s < steps; s++ {
+						if vp.ID() == failVP && s == failStep {
+							panic(fmt.Sprintf("injected-%d", trial))
+						}
+						vp.Send(0, 1)
+						vp.Sync(0)
 					}
-					vp.Send(0, 1)
-					vp.Sync(0)
+				}, Options{Engine: eng})
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil || !strings.Contains(err.Error(), "injected") {
+					t.Fatalf("%s trial %d: want injected panic error, got %v", eng.Name(), trial, err)
 				}
-			})
-			done <- err
-		}()
-		select {
-		case err := <-done:
-			if err == nil || !strings.Contains(err.Error(), "injected") {
-				t.Fatalf("trial %d: want injected panic error, got %v", trial, err)
+			case <-time.After(10 * time.Second):
+				t.Fatalf("%s trial %d: run hung after injected failure", eng.Name(), trial)
 			}
-		case <-time.After(10 * time.Second):
-			t.Fatalf("trial %d: run hung after injected failure", trial)
 		}
 	}
 }
@@ -46,41 +51,43 @@ func TestRandomFailureInjection(t *testing.T) {
 // detected (either label mismatch, superstep mismatch, or deadlock), never
 // a hang.
 func TestMismatchedLabelsNeverHang(t *testing.T) {
-	rng := rand.New(rand.NewSource(14))
-	for trial := 0; trial < 40; trial++ {
-		v := 1 << uint(2+rng.Intn(3))
-		labelBound := Log2(v)
-		// Give each VP a randomly perturbed label sequence: mostly a
-		// common schedule, with one VP deviating.
-		common := make([]int, 3)
-		for i := range common {
-			common[i] = rng.Intn(labelBound)
-		}
-		deviant := rng.Intn(v)
-		devStep := rng.Intn(len(common))
-		devLabel := rng.Intn(labelBound)
-		if devLabel == common[devStep] {
-			devLabel = (devLabel + 1) % labelBound
-		}
-		done := make(chan error, 1)
-		go func() {
-			_, err := Run(v, func(vp *VP[int]) {
-				for s, lab := range common {
-					if vp.ID() == deviant && s == devStep {
-						lab = devLabel
-					}
-					vp.Sync(lab)
-				}
-			})
-			done <- err
-		}()
-		select {
-		case err := <-done:
-			if err == nil {
-				t.Fatalf("trial %d: divergent labels not detected", trial)
+	for _, eng := range testEngines {
+		rng := rand.New(rand.NewSource(14))
+		for trial := 0; trial < 40; trial++ {
+			v := 1 << uint(2+rng.Intn(3))
+			labelBound := Log2(v)
+			// Give each VP a randomly perturbed label sequence: mostly a
+			// common schedule, with one VP deviating.
+			common := make([]int, 3)
+			for i := range common {
+				common[i] = rng.Intn(labelBound)
 			}
-		case <-time.After(10 * time.Second):
-			t.Fatalf("trial %d: divergent labels caused a hang", trial)
+			deviant := rng.Intn(v)
+			devStep := rng.Intn(len(common))
+			devLabel := rng.Intn(labelBound)
+			if devLabel == common[devStep] {
+				devLabel = (devLabel + 1) % labelBound
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := RunOpt(v, func(vp *VP[int]) {
+					for s, lab := range common {
+						if vp.ID() == deviant && s == devStep {
+							lab = devLabel
+						}
+						vp.Sync(lab)
+					}
+				}, Options{Engine: eng})
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatalf("%s trial %d: divergent labels not detected", eng.Name(), trial)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("%s trial %d: divergent labels caused a hang", eng.Name(), trial)
+			}
 		}
 	}
 }

@@ -114,11 +114,24 @@ func (t *Trace) S() []int64 {
 
 // F returns the vector F_i(n, p), for 0 <= i < log2(p): the cumulative
 // degree of all i-supersteps when the algorithm is folded on p processors
-// (Section 2 of the paper).  p must be a power of two with 1 < p <= V.
+// (Section 2 of the paper).
+//
+// Panic contract: p must be a power of two with 1 < p <= V; any other p
+// (including p = 1, whose folding exchanges no messages and has no F
+// entries) panics.  Use TryF when p comes from untrusted input.
 func (t *Trace) F(p int) []int64 {
+	f, err := t.TryF(p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return f
+}
+
+// TryF is F with an error instead of a panic for out-of-range p.
+func (t *Trace) TryF(p int) ([]int64, error) {
 	lp := logOf(p)
 	if lp < 1 || lp > t.LogV {
-		panic(fmt.Sprintf("core: Trace.F: p=%d out of range for v=%d", p, t.V))
+		return nil, fmt.Errorf("core: Trace.F: p=%d out of range for v=%d (need a power of two with 1 < p <= v)", p, t.V)
 	}
 	f := make([]int64, lp)
 	for i := range t.Steps {
@@ -127,7 +140,7 @@ func (t *Trace) F(p int) []int64 {
 			f[rec.Label] += rec.Degree[lp]
 		}
 	}
-	return f
+	return f, nil
 }
 
 // logOf returns log2(p) for a positive power of two, or -1 otherwise.
@@ -142,12 +155,26 @@ func logOf(p int) int {
 	return l
 }
 
-// Log2 returns log2(p) for a positive power of two and panics otherwise.
-// It is exported for use by the metric packages.
+// Log2 returns log2(p) for a positive power of two.  It is exported for
+// use by the metric packages.
+//
+// Panic contract: any p that is not a positive power of two panics
+// (p = 1 is valid and returns 0).  Use TryLog2 when p comes from
+// untrusted input.
 func Log2(p int) int {
 	l := logOf(p)
 	if l < 0 {
 		panic(fmt.Sprintf("core: %d is not a positive power of two", p))
 	}
 	return l
+}
+
+// TryLog2 is Log2 with an error instead of a panic: it returns log2(p)
+// for a positive power of two (0 for p = 1) and an error otherwise.
+func TryLog2(p int) (int, error) {
+	l := logOf(p)
+	if l < 0 {
+		return 0, fmt.Errorf("core: %d is not a positive power of two", p)
+	}
+	return l, nil
 }

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"netoblivious/internal/colsort"
+	"netoblivious/internal/core"
+	"netoblivious/internal/tracetest"
+)
+
+// TestEngineEquivalenceAllAlgorithms runs every registry algorithm on both
+// execution engines across a ladder of machine sizes and asserts
+// byte-identical traces: the BlockEngine must be a drop-in replacement for
+// the reference GoroutineEngine on every real workload in the repository.
+func TestEngineEquivalenceAllAlgorithms(t *testing.T) {
+	sizes := map[string][]int{
+		// n must be the square of a power of two for the matmul family.
+		"matmul":       {4, 16, 64, 1024},
+		"matmul-space": {4, 16, 64, 1024},
+		// v = n² for the 2D stencil; keep the machine at or below 4096 VPs.
+		"stencil2": {2, 8, 64},
+	}
+	defaultSizes := []int{2, 8, 64, 1024}
+
+	runWith := func(eng core.Engine, alg TraceAlgorithm, n int) (*core.Trace, error) {
+		prev := core.SetDefaultEngine(eng)
+		defer core.SetDefaultEngine(prev)
+		return alg.Run(n)
+	}
+
+	for _, alg := range TraceAlgorithms() {
+		ns, ok := sizes[alg.Name]
+		if !ok {
+			ns = defaultSizes
+		}
+		if testing.Short() {
+			ns = ns[:len(ns)-1] // drop the largest size under -short
+		}
+		compared := 0
+		for _, n := range ns {
+			ref, refErr := runWith(core.GoroutineEngine{}, alg, n)
+			got, gotErr := runWith(core.BlockEngine{}, alg, n)
+			if (refErr != nil) != (gotErr != nil) {
+				t.Errorf("%s n=%d: engines disagree on validity: goroutine=%v block=%v", alg.Name, n, refErr, gotErr)
+				continue
+			}
+			if refErr != nil {
+				continue // size invalid for this algorithm on both engines
+			}
+			if !bytes.Equal(tracetest.Canonical(t, ref), tracetest.Canonical(t, got)) {
+				t.Errorf("%s n=%d: BlockEngine trace differs from GoroutineEngine trace", alg.Name, n)
+				continue
+			}
+			compared++
+		}
+		if compared < 2 {
+			t.Errorf("%s: only %d sizes compared successfully; size ladder too restrictive", alg.Name, compared)
+		}
+	}
+}
+
+// TestEngineEquivalenceRecordedPairs re-checks equivalence with message
+// recording enabled on a real algorithm, covering the Pairs field of the
+// trace contract end to end.
+func TestEngineEquivalenceRecordedPairs(t *testing.T) {
+	keys := make([]int64, 64)
+	for i := range keys {
+		keys[i] = int64((i * 2654435761) % 1009)
+	}
+	run := func(eng core.Engine) *core.Trace {
+		prev := core.SetDefaultEngine(eng)
+		defer core.SetDefaultEngine(prev)
+		res, err := colsort.Sort(keys, colsort.Options{Wise: true, Record: true})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		return res.Trace
+	}
+	ref := run(core.GoroutineEngine{})
+	got := run(core.BlockEngine{})
+	if ref.TotalMessages() == 0 {
+		t.Fatal("expected a nonempty trace")
+	}
+	if !bytes.Equal(tracetest.Canonical(t, ref), tracetest.Canonical(t, got)) {
+		t.Error("recorded-pairs trace differs between engines")
+	}
+}

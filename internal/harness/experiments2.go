@@ -242,7 +242,7 @@ func runE9(cfg Config) ([]*Table, error) {
 		}
 	}
 	// The Section 5 counterexample: a single unbalanced pair.
-	ub, err := core.Run(1<<8, func(vp *core.VP[int]) {
+	ub, err := core.RunOpt(1<<8, func(vp *core.VP[int]) {
 		if vp.ID() == 0 {
 			for k := 0; k < 1<<8; k++ {
 				vp.Send(1<<7, k)
@@ -250,7 +250,7 @@ func runE9(cfg Config) ([]*Table, error) {
 		}
 		vp.Sync(0)
 		vp.Sync(0)
-	})
+	}, cfg.runOpts(false))
 	if err != nil {
 		return nil, err
 	}
@@ -328,7 +328,7 @@ func runE11(cfg Config) ([]*Table, error) {
 		}
 		vp.Sync(0)
 		vp.Sync(0)
-	}, core.Options{RecordMessages: true})
+	}, cfg.runOpts(true))
 	if err != nil {
 		return nil, err
 	}

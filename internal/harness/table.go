@@ -9,6 +9,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"netoblivious/internal/core"
 )
 
 // Table is a formatted experiment result.
@@ -120,6 +122,22 @@ type Config struct {
 	// Quick shrinks problem sizes for use inside benchmarks and smoke
 	// tests.
 	Quick bool
+
+	// Engine selects the core execution engine for the experiment's
+	// specification-model runs; nil uses core.DefaultEngine().  The
+	// algorithm packages pick up the engine through the process-wide
+	// default, which Experiment.Run swaps in (and restores) for the
+	// duration of the experiment — concurrent experiments should
+	// therefore use the same Engine.  Every engine produces identical
+	// tables (the traces are equivalent); the knob exists so
+	// `nobl -engine` can exercise and time both.
+	Engine core.Engine
+}
+
+// runOpts returns the core options experiments pass to direct
+// specification-model runs, threading the configured engine through.
+func (c Config) runOpts(record bool) core.Options {
+	return core.Options{RecordMessages: record, Engine: c.Engine}
 }
 
 // Experiment couples an identifier with its runner.
@@ -132,7 +150,21 @@ type Experiment struct {
 
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+// register adds an experiment, wrapping its runner so Config.Engine
+// reaches every specification-model run of the experiment — including
+// the ones inside algorithm packages, which consult the process-wide
+// default engine.
+func register(e Experiment) {
+	inner := e.Run
+	e.Run = func(cfg Config) ([]*Table, error) {
+		if cfg.Engine != nil {
+			prev := core.SetDefaultEngine(cfg.Engine)
+			defer core.SetDefaultEngine(prev)
+		}
+		return inner(cfg)
+	}
+	registry = append(registry, e)
+}
 
 // Experiments returns the full registry in declaration order.
 func Experiments() []Experiment { return registry }

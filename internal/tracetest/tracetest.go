@@ -1,0 +1,40 @@
+// Package tracetest provides helpers for comparing communication traces
+// in tests, shared by the cross-engine equivalence suites.
+package tracetest
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"netoblivious/internal/core"
+)
+
+// Canonical serializes a trace with per-step Pairs sorted so traces can
+// be compared byte for byte.  Pairs carry no order guarantee (the
+// GoroutineEngine appends them in cluster-completion order, which is
+// scheduling dependent), so they are compared as multisets.
+func Canonical(t testing.TB, tr *core.Trace) []byte {
+	t.Helper()
+	c := &core.Trace{V: tr.V, LogV: tr.LogV, Steps: make([]core.StepRec, len(tr.Steps))}
+	copy(c.Steps, tr.Steps)
+	for i := range c.Steps {
+		if len(c.Steps[i].Pairs) == 0 {
+			c.Steps[i].Pairs = nil
+			continue
+		}
+		p := append([][2]int32(nil), c.Steps[i].Pairs...)
+		sort.Slice(p, func(a, b int) bool {
+			if p[a][0] != p[b][0] {
+				return p[a][0] < p[b][0]
+			}
+			return p[a][1] < p[b][1]
+		})
+		c.Steps[i].Pairs = p
+	}
+	var buf bytes.Buffer
+	if err := c.EncodeJSON(&buf); err != nil {
+		t.Fatalf("tracetest: encoding trace: %v", err)
+	}
+	return buf.Bytes()
+}
