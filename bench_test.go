@@ -349,12 +349,49 @@ func BenchmarkF1DiamondDecomposition(b *testing.B) {
 	b.ReportMetric(float64(len(phases)), "stripes")
 }
 
-func runExperiment(id string) ([]*harness.Table, error) {
+func runExperiment(id string) ([]*harness.Result, error) {
 	e, ok := harness.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %s", id)
 	}
 	return e.Run(harness.Config{Quick: true})
+}
+
+// BenchmarkHarnessSuite drives the declarative experiment pipeline end to
+// end off its structured results: the full quick suite through the
+// bounded worker pool, sequentially and at GOMAXPROCS, reporting the
+// trace-store hit rate and the count of failed checks (must stay 0).
+// This is the headline series for the shared-trace-store refactor: the
+// hit rate measures how many specification-model executions the store
+// eliminates across E1–F1.
+func BenchmarkHarnessSuite(b *testing.B) {
+	for _, parallel := range []int{1, 0} {
+		name := "sequential"
+		if parallel == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats core.StoreStats
+			failures := 0
+			for i := 0; i < b.N; i++ {
+				store := harness.NewTraceStore()
+				recs, err := harness.RunSuite(harness.Config{Quick: true, Parallel: parallel, Store: store}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				failures = 0 // per-suite, not accumulated across b.N
+				for _, rec := range recs {
+					if !rec.Passed() {
+						failures++
+					}
+				}
+				stats = store.Stats()
+			}
+			b.ReportMetric(float64(failures), "failed-experiments")
+			b.ReportMetric(stats.HitRate(), "store-hit-rate")
+			b.ReportMetric(float64(stats.Hits), "store-hits")
+		})
+	}
 }
 
 // --- Ablation benches (design choices called out in DESIGN.md) -----------

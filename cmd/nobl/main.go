@@ -1,6 +1,6 @@
 // Command nobl runs the reproduction experiments of the network-oblivious
-// algorithms framework, prints their tables, and records/analyzes
-// communication traces.
+// algorithms framework, renders their structured results, and
+// records/analyzes communication traces.
 //
 // Usage:
 //
@@ -14,17 +14,29 @@
 //
 // Flags:
 //
-//	-quick    use reduced problem sizes
-//	-md       emit GitHub-flavored markdown instead of aligned text
-//	-engine   execution engine for all specification-model runs
-//	          (block, the sharded default, or goroutine, the reference)
+//	-quick      use reduced problem sizes
+//	-format F   output format: text (default), md, json, csv
+//	-out DIR    write per-experiment files into DIR instead of stdout
+//	-parallel N run up to N experiments concurrently (0 = GOMAXPROCS);
+//	            output is byte-identical at any parallelism
+//	-bench F    write a wall-clock/trace-store bench report to F (JSON)
+//	-engine     execution engine for all specification-model runs
+//	            (block, the sharded default, or goroutine, the reference)
+//
+// Exit status: 0 when every selected experiment ran and every check
+// passed; 1 when an experiment failed to run or any check failed; 2 on
+// usage errors.  One summary line per experiment is printed to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"netoblivious/internal/core"
 	"netoblivious/internal/dbsp"
@@ -34,7 +46,11 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
-	md := flag.Bool("md", false, "emit markdown tables")
+	md := flag.Bool("md", false, "emit markdown (deprecated alias for -format md)")
+	format := flag.String("format", "text", "output format: text|md|json|csv")
+	outDir := flag.String("out", "", "write per-experiment files into this directory")
+	parallel := flag.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = sequential)")
+	benchPath := flag.String("bench", "", "write a wall-clock + trace-store bench report (JSON) to this file")
 	engineName := flag.String("engine", core.DefaultEngine().Name(),
 		"execution engine: "+strings.Join(core.EngineNames(), "|"))
 	flag.Usage = usage
@@ -44,9 +60,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nobl: %v\n", err)
 		os.Exit(2)
 	}
-	// Algorithm packages run the specification model internally; the
-	// process-wide default makes the flag reach every one of them.
-	core.SetDefaultEngine(engine)
+	formatSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "format" {
+			formatSet = true
+		}
+	})
+	if *md && !formatSet {
+		*format = "md" // deprecated alias; an explicit -format wins
+	}
+	f, err := harness.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobl: %v\n", err)
+		os.Exit(2)
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -58,39 +85,19 @@ func main() {
 			fmt.Printf("%-4s %-72s [%s]\n", e.ID, e.Title, e.PaperRef)
 		}
 	case "run":
-		ids := args[1:]
-		if len(ids) == 0 || (len(ids) == 1 && strings.EqualFold(ids[0], "all")) {
-			ids = nil
-			for _, e := range harness.Experiments() {
-				ids = append(ids, e.ID)
-			}
+		cfg := harness.Config{
+			Quick:    *quick,
+			Engine:   engine,
+			Parallel: *parallel,
+			Store:    harness.NewTraceStore(),
 		}
-		cfg := harness.Config{Quick: *quick, Engine: engine}
-		for _, id := range ids {
-			e, ok := harness.ByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "nobl: unknown experiment %q (try 'nobl list')\n", id)
-				os.Exit(1)
-			}
-			tables, err := e.Run(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "nobl: %s failed: %v\n", e.ID, err)
-				os.Exit(1)
-			}
-			for _, t := range tables {
-				if *md {
-					fmt.Println(t.Markdown())
-				} else {
-					fmt.Println(t.Text())
-				}
-			}
-		}
+		os.Exit(runSuite(cfg, f, *outDir, *benchPath, args[1:]))
 	case "algorithms":
 		for _, a := range harness.TraceAlgorithms() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 	case "trace":
-		runTrace(args[1:])
+		runTrace(engine, args[1:])
 	case "stat":
 		runStat(args[1:])
 	default:
@@ -99,7 +106,156 @@ func main() {
 	}
 }
 
-func runTrace(args []string) {
+// runSuite executes the selected experiments, renders them through the
+// chosen sink, prints one pass/fail summary line per experiment, writes
+// the optional bench report, and returns the process exit code.
+func runSuite(cfg harness.Config, f harness.Format, outDir, benchPath string, ids []string) int {
+	start := time.Now()
+	recs, err := harness.RunSuite(cfg, ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobl: %v (try 'nobl list')\n", err)
+		return 1
+	}
+	total := time.Since(start)
+	if err := render(cfg, f, outDir, recs); err != nil {
+		fmt.Fprintf(os.Stderr, "nobl: rendering: %v\n", err)
+		return 1
+	}
+	failures := 0
+	for _, rec := range recs {
+		passed, failed := rec.CheckCounts()
+		switch {
+		case rec.Err != "":
+			failures++
+			fmt.Fprintf(os.Stderr, "nobl: %-4s ERROR %s\n", rec.ID, rec.Err)
+		case failed > 0:
+			failures++
+			fmt.Fprintf(os.Stderr, "nobl: %-4s FAIL  %d/%d checks failed  (%s)\n",
+				rec.ID, failed, passed+failed, rec.Elapsed.Round(time.Microsecond))
+		default:
+			fmt.Fprintf(os.Stderr, "nobl: %-4s PASS  %d checks  (%s)\n",
+				rec.ID, passed, rec.Elapsed.Round(time.Microsecond))
+		}
+	}
+	st := cfg.Store.Stats()
+	fmt.Fprintf(os.Stderr, "nobl: %d experiments in %s; trace store: %d hits / %d misses (%.0f%% hit rate)\n",
+		len(recs), total.Round(time.Millisecond), st.Hits, st.Misses, 100*st.HitRate())
+	if benchPath != "" {
+		if err := writeBenchReport(benchPath, cfg, recs, total); err != nil {
+			fmt.Fprintf(os.Stderr, "nobl: bench report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "nobl: bench report written to %s\n", benchPath)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "nobl: %d experiment(s) failing\n", failures)
+		return 1
+	}
+	return 0
+}
+
+// writeRecs streams records through one sink of format f onto w.
+func writeRecs(cfg harness.Config, f harness.Format, w io.Writer, recs []harness.Record) error {
+	sink, err := harness.NewSink(f, w, cfg)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := sink.Write(rec); err != nil {
+			return err
+		}
+	}
+	return sink.Close()
+}
+
+// render streams the records through one sink on stdout, or — with an
+// output directory — one file per experiment (text/md/csv) or a single
+// results.json document (json).
+func render(cfg harness.Config, f harness.Format, outDir string, recs []harness.Record) error {
+	if outDir == "" {
+		return writeRecs(cfg, f, os.Stdout, recs)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	writeOne := func(name string, recs []harness.Record) error {
+		file, err := os.Create(filepath.Join(outDir, name))
+		if err != nil {
+			return err
+		}
+		if err := writeRecs(cfg, f, file, recs); err != nil {
+			file.Close()
+			return err
+		}
+		return file.Close()
+	}
+	if f == harness.FormatJSON {
+		return writeOne("results.json", recs)
+	}
+	for _, rec := range recs {
+		if err := writeOne(rec.ID+f.Ext(), []harness.Record{rec}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchReport is the schema of the -bench output: per-experiment
+// wall-clock plus trace-store effectiveness, the series CI archives to
+// track harness performance over time.
+type benchReport struct {
+	Schema   string            `json:"schema"`
+	Quick    bool              `json:"quick"`
+	Engine   string            `json:"engine"`
+	Parallel int               `json:"parallel"`
+	TotalMs  float64           `json:"total_wall_ms"`
+	Store    benchStore        `json:"trace_store"`
+	Results  []benchExperiment `json:"experiments"`
+}
+
+type benchStore struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type benchExperiment struct {
+	ID     string  `json:"id"`
+	WallMs float64 `json:"wall_ms"`
+	Pass   bool    `json:"pass"`
+}
+
+func writeBenchReport(path string, cfg harness.Config, recs []harness.Record, total time.Duration) error {
+	st := cfg.Store.Stats()
+	rep := benchReport{
+		Schema:   "nobl/bench/v1",
+		Quick:    cfg.Quick,
+		Engine:   cfg.Engine.Name(),
+		Parallel: cfg.Parallel,
+		TotalMs:  float64(total.Microseconds()) / 1e3,
+		Store:    benchStore{Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate()},
+	}
+	for _, rec := range recs {
+		rep.Results = append(rep.Results, benchExperiment{
+			ID:     rec.ID,
+			WallMs: float64(rec.Elapsed.Microseconds()) / 1e3,
+			Pass:   rec.Passed(),
+		})
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(file)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+func runTrace(engine core.Engine, args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	n := fs.Int("n", 1024, "input size (power of two; matmul needs a square)")
 	out := fs.String("o", "", "output file (default stdout)")
@@ -117,11 +273,12 @@ func runTrace(args []string) {
 		fmt.Fprintf(os.Stderr, "nobl trace: unknown algorithm %q\n", name)
 		os.Exit(1)
 	}
-	tr, err := alg.Run(*n)
+	run, err := alg.Run(engine, *n)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
 		os.Exit(1)
 	}
+	tr := run.Trace
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -173,11 +330,11 @@ func runStat(args []string) {
 			ps = append(ps, q)
 		}
 	}
-	fmt.Printf("%-8s %-14s %-10s %-10s %-12s\n", "p", "H(n,p,σ)", "α", "γ", "supersteps")
+	fmt.Printf("%-8s %-14s %-10s %-10s %-12s %-12s\n", "p", "H(n,p,σ)", "α", "γ", "supersteps", "messages")
 	for _, q := range ps {
-		fl := eval.Fold(tr, q)
-		fmt.Printf("%-8d %-14.0f %-10.3f %-10.3f %-12d\n",
-			q, fl.H(*sigma), eval.Wiseness(tr, q), eval.Fullness(tr, q), fl.Supersteps())
+		pt := eval.Measure(tr, q, *sigma)
+		fmt.Printf("%-8d %-14.0f %-10.3f %-10.3f %-12d %-12d\n",
+			q, pt.H, pt.Alpha, pt.Gamma, pt.Supersteps, pt.MessageLoad)
 	}
 	pq := ps[len(ps)-1]
 	fmt.Printf("\ncommunication time D(n,%d,g,ℓ) on the network presets:\n", pq)
@@ -206,8 +363,14 @@ usage:
   nobl stat <file> [-p P] [-sigma σ]
 
 flags:
-  -quick   reduced problem sizes
-  -md      markdown output
-  -engine  execution engine (block|goroutine)
+  -quick      reduced problem sizes
+  -format F   text | md | json | csv
+  -out DIR    per-experiment files instead of stdout
+  -parallel N concurrent experiments (0 = GOMAXPROCS); output is
+              byte-identical at any parallelism
+  -bench F    wall-clock + trace-store report (JSON)
+  -engine E   execution engine (block|goroutine)
+
+'nobl run' exits non-zero when any experiment errors or any check fails.
 `)
 }

@@ -39,6 +39,13 @@ type Result struct {
 // Options configures the oblivious runs.
 type Options struct {
 	Record bool
+	// Engine selects the core execution engine; nil uses the default.
+	Engine core.Engine
+}
+
+// runOpts translates Options into the core run options.
+func (o Options) runOpts() core.Options {
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
 }
 
 func checkV(v int) error {
@@ -81,7 +88,7 @@ func Oblivious(v int, value int64, opts Options) (*Result, error) {
 		}
 		got[vp.ID()] = val
 	}
-	tr, err := core.RunOpt(v, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(v, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +120,7 @@ func ObliviousFlat(v int, value int64, opts Options) (*Result, error) {
 		}
 		got[vp.ID()] = val
 	}
-	tr, err := core.RunOpt(v, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(v, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +179,7 @@ func Aware(p int, sigma float64, value int64, opts Options) (*Result, error) {
 		}
 		got[vp.ID()] = val
 	}
-	tr, err := core.RunOpt(p, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(p, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}

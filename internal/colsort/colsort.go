@@ -42,6 +42,13 @@ type Options struct {
 	// all-gather base case; it must be at least 8 (segments of size 8 or
 	// smaller cannot be split into a valid r×s shape).  0 means 8.
 	BaseSize int
+	// Engine selects the core execution engine; nil uses the default.
+	Engine core.Engine
+}
+
+// runOpts translates Options into the core run options.
+func (o Options) runOpts() core.Options {
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
 }
 
 // Result carries the sorted keys and the communication trace.
@@ -100,7 +107,7 @@ func Sort(keys []int64, opts Options) (*Result, error) {
 		me = sortRec(vp, 0, vp.V(), me, opts.Wise, base)
 		out[vp.ID()] = me.key
 	}
-	tr, err := core.RunOpt(n, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(n, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceKey identifies one deterministic specification-model run: a named
+// algorithm executed at input size N.  Because the paper's algorithms are
+// static — their communication depends only on the input size, never on
+// input values — a trace computed once for a key is valid for every
+// consumer, which is what makes keyed memoization sound.  The Engine
+// component is included so runs on different execution engines (whose
+// traces are equivalent but whose runs are distinct) never alias.
+type TraceKey struct {
+	// Algorithm is the registry name of the algorithm ("matmul", "fft", ...).
+	Algorithm string
+	// N is the input size the algorithm was specified at.
+	N int
+	// Engine is the name of the execution engine used for the run.
+	Engine string
+}
+
+// String renders the key in its canonical "algorithm/n=N@engine" form,
+// used as the memo-store key and as a stable file-name stem for archived
+// traces.
+func (k TraceKey) String() string {
+	return fmt.Sprintf("%s/n=%d@%s", k.Algorithm, k.N, k.Engine)
+}
+
+// StoreStats reports the cumulative effectiveness of a Store.
+type StoreStats struct {
+	// Hits counts Get calls served from a completed or in-flight entry.
+	Hits int64
+	// Misses counts Get calls that had to compute the value.
+	Misses int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 when the store is unused.
+func (s StoreStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Store is a keyed, concurrency-safe, single-flight memo store.  The
+// first Get for a key computes the value; concurrent and later Gets for
+// the same key wait for (or reuse) that single computation.  Errors are
+// cached alongside values: a failed computation is not retried, so every
+// caller of a key observes the same outcome — a property the experiment
+// suite relies on for schedule-independent output.
+type Store[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*storeEntry[V]
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type storeEntry[V any] struct {
+	done chan struct{} // closed when val/err are set
+	val  V
+	err  error
+}
+
+// NewStore returns an empty store.
+func NewStore[V any]() *Store[V] {
+	return &Store[V]{entries: map[string]*storeEntry[V]{}}
+}
+
+// Get returns the value for key, computing it with compute on the first
+// call.  compute runs at most once per key across all goroutines; callers
+// that find the computation in flight block until it completes.
+func (s *Store[V]) Get(key string, compute func() (V, error)) (V, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		<-e.done
+		return e.val, e.err
+	}
+	e = &storeEntry[V]{done: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+	s.misses.Add(1)
+	e.val, e.err = compute()
+	close(e.done)
+	return e.val, e.err
+}
+
+// Len returns the number of keyed entries (completed or in flight).
+func (s *Store[V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (s *Store[V]) Stats() StoreStats {
+	return StoreStats{Hits: s.hits.Load(), Misses: s.misses.Load()}
+}

@@ -38,6 +38,13 @@ type Options struct {
 	Wise bool
 	// Record enables message-pair recording.
 	Record bool
+	// Engine selects the core execution engine; nil uses the default.
+	Engine core.Engine
+}
+
+// runOpts translates Options into the core run options.
+func (o Options) runOpts() core.Options {
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
 }
 
 // Result carries the transform output and the communication trace.
@@ -116,7 +123,7 @@ func Transform(x []complex128, opts Options) (*Result, error) {
 	prog := func(vp *core.VP[complex128]) {
 		out[vp.ID()] = fftRec(vp, 0, n, x[vp.ID()], opts.Wise)
 	}
-	tr, err := core.RunOpt(n, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(n, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +266,7 @@ func TransformIterative(x []complex128, opts Options) (*Result, error) {
 			out[w] = got
 		}
 	}
-	tr, err := core.RunOpt(n, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(n, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}

@@ -14,13 +14,19 @@ import (
 )
 
 // TraceAlgorithm runs a named algorithm at a given input size and returns
-// its communication trace — the registry behind `nobl trace`.
+// its communication trace — the registry behind `nobl trace` and the keyed
+// TraceStore.  Every entry derives its input from its own fixed-seed RNG,
+// so a run is a pure function of (engine, n): the property that makes the
+// store's (algorithm, n, engine) keying sound.
 type TraceAlgorithm struct {
 	Name string
 	// Doc describes the algorithm and how n is interpreted.
 	Doc string
-	// Run executes the algorithm on a deterministic input of size n.
-	Run func(n int) (*core.Trace, error)
+	// Run executes the algorithm on a deterministic input of size n,
+	// on the given execution engine (nil selects the default).  The
+	// engine is passed explicitly — never through the process-wide
+	// default — so concurrent runs with different engines cannot race.
+	Run func(eng core.Engine, n int) (AlgRun, error)
 }
 
 // TraceAlgorithms returns the runnable algorithm registry, sorted by name.
@@ -29,156 +35,126 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "matmul",
 			Doc:  "8-way recursive n-MM (§4.1); n = matrix entries (side² = n, power of 4)",
-			Run: func(n int) (*core.Trace, error) {
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
 				s, err := sideOf(n)
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
 				rng := seededRng()
-				r, err := matmul.Multiply(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true})
+				r, err := matmul.Multiply(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true, Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace, PeakEntries: r.PeakEntries}, nil
 			},
 		},
 		{
 			Name: "matmul-space",
 			Doc:  "space-efficient n-MM (§4.1.1); n = matrix entries",
-			Run: func(n int) (*core.Trace, error) {
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
 				s, err := sideOf(n)
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
 				rng := seededRng()
-				r, err := matmul.MultiplySpaceEfficient(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true})
+				r, err := matmul.MultiplySpaceEfficient(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true, Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace, PeakEntries: r.PeakEntries}, nil
 			},
 		},
 		{
 			Name: "fft",
 			Doc:  "recursive n-FFT (§4.2)",
-			Run: func(n int) (*core.Trace, error) {
-				rng := seededRng()
-				x := make([]complex128, n)
-				for i := range x {
-					x[i] = complex(rng.Float64(), 0)
-				}
-				r, err := fft.Transform(x, fft.Options{Wise: true})
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
+				r, err := fft.Transform(randComplex(seededRng(), n), fft.Options{Wise: true, Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace}, nil
 			},
 		},
 		{
 			Name: "fft-iterative",
 			Doc:  "butterfly baseline FFT (§4.2 discussion)",
-			Run: func(n int) (*core.Trace, error) {
-				rng := seededRng()
-				x := make([]complex128, n)
-				for i := range x {
-					x[i] = complex(rng.Float64(), 0)
-				}
-				r, err := fft.TransformIterative(x, fft.Options{Wise: true})
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
+				r, err := fft.TransformIterative(randComplex(seededRng(), n), fft.Options{Wise: true, Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace}, nil
 			},
 		},
 		{
 			Name: "sort",
 			Doc:  "recursive Columnsort (§4.3)",
-			Run: func(n int) (*core.Trace, error) {
-				rng := seededRng()
-				keys := make([]int64, n)
-				for i := range keys {
-					keys[i] = rng.Int63()
-				}
-				r, err := colsort.Sort(keys, colsort.Options{Wise: true})
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
+				r, err := colsort.Sort(randKeys(seededRng(), n), colsort.Options{Wise: true, Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace}, nil
 			},
 		},
 		{
 			Name: "bitonic",
 			Doc:  "Batcher's bitonic network (E13 baseline)",
-			Run: func(n int) (*core.Trace, error) {
-				rng := seededRng()
-				keys := make([]int64, n)
-				for i := range keys {
-					keys[i] = rng.Int63()
-				}
-				r, err := colsort.SortBitonic(keys, colsort.Options{Wise: true})
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
+				r, err := colsort.SortBitonic(randKeys(seededRng(), n), colsort.Options{Wise: true, Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace}, nil
 			},
 		},
 		{
 			Name: "stencil1",
 			Doc:  "(n,1)-stencil diamond recursion (§4.4.1); n = spatial side",
-			Run: func(n int) (*core.Trace, error) {
-				rng := seededRng()
-				in := make([]int64, n)
-				for i := range in {
-					in[i] = int64(rng.Intn(1 << 20))
-				}
-				r, err := stencil.Run(n, 1, in, stencil.Options{Wise: true})
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
+				r, err := stencil.Run(n, 1, randCells(seededRng(), n), stencil.Options{Wise: true, Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace}, nil
 			},
 		},
 		{
 			Name: "stencil2",
 			Doc:  "(n,2)-stencil octahedral recursion (§4.4.2); n = spatial side, v = n²",
-			Run: func(n int) (*core.Trace, error) {
-				rng := seededRng()
-				in := make([]int64, n*n)
-				for i := range in {
-					in[i] = int64(rng.Intn(1 << 20))
-				}
-				r, err := stencil.Run(n, 2, in, stencil.Options{Wise: true})
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
+				r, err := stencil.Run(n, 2, randCells(seededRng(), n*n), stencil.Options{Wise: true, Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace}, nil
 			},
 		},
 		{
 			Name: "broadcast-tree",
 			Doc:  "oblivious binary-tree n-broadcast (§4.5)",
-			Run: func(n int) (*core.Trace, error) {
-				r, err := broadcast.Oblivious(n, 1, broadcast.Options{})
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
+				r, err := broadcast.Oblivious(n, 1, broadcast.Options{Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace}, nil
 			},
 		},
 		{
 			Name: "prefix-tree",
 			Doc:  "work-efficient prefix sums (§5 substrate)",
-			Run: func(n int) (*core.Trace, error) {
+			Run: func(eng core.Engine, n int) (AlgRun, error) {
 				rng := seededRng()
 				xs := make([]int64, n)
 				for i := range xs {
 					xs[i] = int64(rng.Intn(1000))
 				}
-				r, err := prefix.ScanTree(xs, prefix.Sum(), prefix.Options{})
+				r, err := prefix.ScanTree(xs, prefix.Sum(), prefix.Options{Engine: eng})
 				if err != nil {
-					return nil, err
+					return AlgRun{}, err
 				}
-				return r.Trace, nil
+				return AlgRun{Trace: r.Trace}, nil
 			},
 		},
 	}

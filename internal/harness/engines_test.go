@@ -13,6 +13,9 @@ import (
 // execution engines across a ladder of machine sizes and asserts
 // byte-identical traces: the BlockEngine must be a drop-in replacement for
 // the reference GoroutineEngine on every real workload in the repository.
+// The engine reaches the algorithms through the threaded option — never
+// the process-wide default — so the comparisons can themselves run under
+// a racing test schedule safely.
 func TestEngineEquivalenceAllAlgorithms(t *testing.T) {
 	sizes := map[string][]int{
 		// n must be the square of a power of two for the matmul family.
@@ -22,12 +25,6 @@ func TestEngineEquivalenceAllAlgorithms(t *testing.T) {
 		"stencil2": {2, 8, 64},
 	}
 	defaultSizes := []int{2, 8, 64, 1024}
-
-	runWith := func(eng core.Engine, alg TraceAlgorithm, n int) (*core.Trace, error) {
-		prev := core.SetDefaultEngine(eng)
-		defer core.SetDefaultEngine(prev)
-		return alg.Run(n)
-	}
 
 	for _, alg := range TraceAlgorithms() {
 		ns, ok := sizes[alg.Name]
@@ -39,8 +36,8 @@ func TestEngineEquivalenceAllAlgorithms(t *testing.T) {
 		}
 		compared := 0
 		for _, n := range ns {
-			ref, refErr := runWith(core.GoroutineEngine{}, alg, n)
-			got, gotErr := runWith(core.BlockEngine{}, alg, n)
+			ref, refErr := alg.Run(core.GoroutineEngine{}, n)
+			got, gotErr := alg.Run(core.BlockEngine{}, n)
 			if (refErr != nil) != (gotErr != nil) {
 				t.Errorf("%s n=%d: engines disagree on validity: goroutine=%v block=%v", alg.Name, n, refErr, gotErr)
 				continue
@@ -48,7 +45,7 @@ func TestEngineEquivalenceAllAlgorithms(t *testing.T) {
 			if refErr != nil {
 				continue // size invalid for this algorithm on both engines
 			}
-			if !bytes.Equal(tracetest.Canonical(t, ref), tracetest.Canonical(t, got)) {
+			if !bytes.Equal(tracetest.Canonical(t, ref.Trace), tracetest.Canonical(t, got.Trace)) {
 				t.Errorf("%s n=%d: BlockEngine trace differs from GoroutineEngine trace", alg.Name, n)
 				continue
 			}
@@ -69,9 +66,7 @@ func TestEngineEquivalenceRecordedPairs(t *testing.T) {
 		keys[i] = int64((i * 2654435761) % 1009)
 	}
 	run := func(eng core.Engine) *core.Trace {
-		prev := core.SetDefaultEngine(eng)
-		defer core.SetDefaultEngine(prev)
-		res, err := colsort.Sort(keys, colsort.Options{Wise: true, Record: true})
+		res, err := colsort.Sort(keys, colsort.Options{Wise: true, Record: true, Engine: eng})
 		if err != nil {
 			t.Fatalf("%s: %v", eng.Name(), err)
 		}
@@ -84,5 +79,41 @@ func TestEngineEquivalenceRecordedPairs(t *testing.T) {
 	}
 	if !bytes.Equal(tracetest.Canonical(t, ref), tracetest.Canonical(t, got)) {
 		t.Error("recorded-pairs trace differs between engines")
+	}
+}
+
+// TestSuiteEngineIsolation runs two suites concurrently on different
+// engines — the scenario the process-global default engine could not
+// support — and asserts both produce the same passing records.
+func TestSuiteEngineIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine suite run is slow")
+	}
+	ids := []string{"E1", "E10"}
+	type out struct {
+		recs []Record
+		err  error
+	}
+	ch := make(chan out, 2)
+	for _, eng := range []core.Engine{core.GoroutineEngine{}, core.BlockEngine{}} {
+		eng := eng
+		go func() {
+			recs, err := RunSuite(Config{Quick: true, Engine: eng, Parallel: 2}, ids)
+			ch <- out{recs, err}
+		}()
+	}
+	a, b := <-ch, <-ch
+	if a.err != nil || b.err != nil {
+		t.Fatalf("suite errors: %v / %v", a.err, b.err)
+	}
+	for i := range a.recs {
+		if !a.recs[i].Passed() || !b.recs[i].Passed() {
+			t.Errorf("%s: concurrent cross-engine runs did not both pass (err %q / %q)",
+				a.recs[i].ID, a.recs[i].Err, b.recs[i].Err)
+			continue
+		}
+		if a.recs[i].Results[0].Text() != b.recs[i].Results[0].Text() {
+			t.Errorf("%s: engines rendered different results", a.recs[i].ID)
+		}
 	}
 }

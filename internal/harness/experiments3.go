@@ -1,9 +1,9 @@
 package harness
 
 import (
+	"math"
 	"math/rand"
 
-	"netoblivious/internal/colsort"
 	"netoblivious/internal/dbsp"
 	"netoblivious/internal/eval"
 	"netoblivious/internal/network"
@@ -25,50 +25,61 @@ func init() {
 	})
 }
 
-func runE13(cfg Config) ([]*Table, error) {
-	rng := seededRng()
+func runE13(cfg Config) ([]*Result, error) {
 	sizes := []int{1 << 8, 1 << 10, 1 << 12}
 	if cfg.Quick {
 		sizes = []int{1 << 8, 1 << 10}
 	}
-	tb := &Table{
+	res := &Result{
 		ID: "E13", Title: "normalized per-key communication H·p/n at σ=0",
 		PaperRef: "Theorem 4.8",
 		Columns:  []string{"n", "p", "Columnsort H·p/n", "bitonic H·p/n", "bitonic shape log p(log p+1)", "col/bit"},
 	}
+	bitonicExact := true
+	colTrendDown := true
+	prevLargestP := math.Inf(1)
 	for _, n := range sizes {
-		keys := make([]int64, n)
-		for i := range keys {
-			keys[i] = rng.Int63()
-		}
-		col, err := colsort.Sort(keys, colsort.Options{Wise: true})
+		col, err := cfg.Trace("sort", n)
 		if err != nil {
 			return nil, err
 		}
-		bit, err := colsort.SortBitonic(keys, colsort.Options{Wise: true})
+		bit, err := cfg.Trace("bitonic", n)
 		if err != nil {
 			return nil, err
 		}
 		for _, p := range []int{4, 16, 64} {
-			hc := eval.H(col.Trace, p, 0) * float64(p) / float64(n)
-			hb := eval.H(bit.Trace, p, 0) * float64(p) / float64(n)
+			hc := eval.H(col, p, 0) * float64(p) / float64(n)
+			hb := eval.H(bit, p, 0) * float64(p) / float64(n)
 			shape := theory.PredictedBitonic(float64(n), p, 0) * 2 * float64(p) / float64(n)
-			tb.AddRow(n, p, hc, hb, shape, hc/hb)
+			if math.Abs(hb-shape) > 1e-9 {
+				bitonicExact = false
+			}
+			if p == 64 {
+				if hc/hb > prevLargestP {
+					colTrendDown = false
+				}
+				prevLargestP = hc / hb
+			}
+			res.AddRow(n, p, hc, hb, shape, hc/hb)
 		}
 	}
-	tb.Notes = append(tb.Notes,
+	res.Notes = append(res.Notes,
 		"bitonic's normalized cost is exactly log p(log p+1), independent of n — the Θ(log²p) suboptimality factor made visible",
 		"Columnsort's normalized cost falls with n toward a constant (Theorem 4.8's Θ(1)-optimality for p = O(n^{1-δ})); at simulable sizes bitonic's small constants still win in absolute terms — the paper's claim is asymptotic and the trend confirms it")
-	return []*Table{tb}, nil
+	res.AddCheck("bitonic normalized cost equals its closed form", bitonicExact,
+		"H·p/n = log p(log p+1) at every grid point")
+	res.AddCheck("Columnsort's relative cost falls with n (asymptotic optimality trend)", colTrendDown,
+		"col/bit nonincreasing in n at p=64, ending at %.2f", prevLargestP)
+	return []*Result{res}, nil
 }
 
-func runE14(cfg Config) ([]*Table, error) {
+func runE14(cfg Config) ([]*Result, error) {
 	rng := rand.New(rand.NewSource(1999)) // Euro-Par 1999
 	p := 64
 	if cfg.Quick {
 		p = 16
 	}
-	tb := &Table{
+	res := &Result{
 		ID: "E14", Title: "routing cluster-confined h-relations on real networks",
 		PaperRef: "Section 2; Bilardi–Pietracaprina–Pucci 1999",
 		Columns:  []string{"network", "cluster level i", "h", "measured makespan", "D-BSP h·g_i+ℓ_i", "ratio"},
@@ -85,19 +96,26 @@ func runE14(cfg Config) ([]*Table, error) {
 	if cfg.Quick {
 		levels = []int{0, 2}
 	}
+	worst := 0.0
 	for _, c := range cases {
 		sim := network.NewSim(c.topo)
 		for _, level := range levels {
 			for _, h := range []int{1, 4, 16} {
 				msgs := network.ClusterHRelation(rng, p, level, h)
-				res := sim.Route(msgs)
+				r := sim.Route(msgs)
 				pred := float64(h)*c.pr.G[level] + c.pr.L[level]
-				tb.AddRow(c.topo.Name, level, h, res.Makespan, pred, float64(res.Makespan)/pred)
+				ratio := float64(r.Makespan) / pred
+				if ratio > worst {
+					worst = ratio
+				}
+				res.AddRow(c.topo.Name, level, h, r.Makespan, pred, ratio)
 			}
 		}
 	}
-	tb.Notes = append(tb.Notes,
+	res.Notes = append(res.Notes,
 		"bounded ratios across topologies, cluster levels and degrees justify using D-BSP as the execution machine model — the premise the paper takes from Bilardi et al. [1999], rebuilt here with a synchronous store-and-forward simulator",
 		"ratios below 1 reflect that random h-relations do not saturate the bisection; the D-BSP vectors are worst-case")
-	return []*Table{tb}, nil
+	res.AddCheck("measured makespan never exceeds the D-BSP cost by more than 50%", worst <= 1.5,
+		"max makespan/(h·g_i+ℓ_i) = %.2f (bound 1.5)", worst)
+	return []*Result{res}, nil
 }

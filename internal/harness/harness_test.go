@@ -30,32 +30,44 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 // TestAllExperimentsRunQuick executes the whole suite in quick mode: every
-// experiment must produce at least one non-empty table.
+// experiment must produce at least one non-empty, well-formed result set,
+// and every check it declares must pass — the checks are the theorems'
+// measurable claims, so a failure is a regression in either the
+// algorithms or the metrics.
 func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := Config{Quick: true, Store: NewTraceStore()}
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables, err := e.Run(Config{Quick: true})
+			results, err := e.Run(cfg)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
-			if len(tables) == 0 {
-				t.Fatalf("%s produced no tables", e.ID)
+			if len(results) == 0 {
+				t.Fatalf("%s produced no results", e.ID)
 			}
-			for _, tbl := range tables {
-				if len(tbl.Rows) == 0 {
-					t.Errorf("%s: empty table %q", e.ID, tbl.Title)
+			for _, res := range results {
+				if len(res.Rows) == 0 {
+					t.Errorf("%s: empty result %q", e.ID, res.Title)
 				}
-				if len(tbl.Columns) == 0 {
+				if len(res.Columns) == 0 {
 					t.Errorf("%s: no columns", e.ID)
 				}
-				for _, row := range tbl.Rows {
-					if len(row) != len(tbl.Columns) {
-						t.Errorf("%s: row width %d != %d columns", e.ID, len(row), len(tbl.Columns))
+				for _, row := range res.Rows {
+					if len(row) != len(res.Columns) {
+						t.Errorf("%s: row width %d != %d columns", e.ID, len(row), len(res.Columns))
+					}
+				}
+				if len(res.Checks) == 0 {
+					t.Errorf("%s: result %q declares no checks", e.ID, res.Title)
+				}
+				for _, c := range res.Checks {
+					if !c.Pass {
+						t.Errorf("%s: check failed: %s — %s", e.ID, c.Name, c.Detail)
 					}
 				}
 				// Both renderings must not panic and must mention the ID.
-				if !strings.Contains(tbl.Text(), tbl.ID) || !strings.Contains(tbl.Markdown(), tbl.ID) {
+				if !strings.Contains(res.Text(), res.ID) || !strings.Contains(res.Markdown(), res.ID) {
 					t.Errorf("%s: renderings lack the experiment id", e.ID)
 				}
 			}
@@ -63,21 +75,30 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	}
 }
 
-// TestTableFormatting covers the cell formatter.
-func TestTableFormatting(t *testing.T) {
-	tb := &Table{ID: "T", Title: "x", PaperRef: "y", Columns: []string{"a", "b", "c", "d"}}
-	tb.AddRow(1, "s", 3.14159, 1234567.0)
-	if tb.Rows[0][0] != "1" || tb.Rows[0][1] != "s" {
-		t.Errorf("bad cells: %v", tb.Rows[0])
+// TestRunSuiteChecksAndOrder runs the suite through the pool and verifies
+// record ordering, pass/fail accounting and error propagation for an
+// unknown id.
+func TestRunSuiteChecksAndOrder(t *testing.T) {
+	recs, err := RunSuite(Config{Quick: true, Parallel: 4}, []string{"E10", "E1"})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if tb.Rows[0][2] != "3.14" {
-		t.Errorf("float cell = %q, want 3.14", tb.Rows[0][2])
+	if len(recs) != 2 || recs[0].ID != "E10" || recs[1].ID != "E1" {
+		t.Fatalf("records out of selection order: %+v", recs)
 	}
-	if !strings.Contains(tb.Rows[0][3], "e+06") && tb.Rows[0][3] != "1.23e+06" {
-		t.Errorf("large float cell = %q", tb.Rows[0][3])
+	for _, rec := range recs {
+		if !rec.Passed() {
+			t.Errorf("%s did not pass: err=%q", rec.ID, rec.Err)
+		}
+		passed, failed := rec.CheckCounts()
+		if passed == 0 || failed != 0 {
+			t.Errorf("%s check counts: passed=%d failed=%d", rec.ID, passed, failed)
+		}
+		if rec.Elapsed <= 0 {
+			t.Errorf("%s did not record elapsed time", rec.ID)
+		}
 	}
-	txt := tb.Text()
-	if !strings.Contains(txt, "a") || !strings.Contains(txt, "---") {
-		t.Errorf("text rendering broken:\n%s", txt)
+	if _, err := RunSuite(Config{Quick: true}, []string{"E99"}); err == nil {
+		t.Error("RunSuite should reject unknown experiment ids")
 	}
 }

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"netoblivious/internal/core"
+)
+
+// Config tunes a suite run: problem sizes, execution engine, worker
+// count and the shared trace store.  A Config is plain data — copies are
+// cheap and concurrent experiments may share one.
+type Config struct {
+	// Quick shrinks problem sizes for use inside benchmarks and smoke
+	// tests.
+	Quick bool
+
+	// Engine selects the core execution engine for every
+	// specification-model run of the suite; nil uses
+	// core.DefaultEngine().  The engine is threaded explicitly through
+	// every algorithm call (never via the process-wide default), so
+	// concurrent suite runs with different engines cannot race.
+	Engine core.Engine
+
+	// Parallel bounds the number of experiments running concurrently in
+	// RunSuite.  0 means runtime.GOMAXPROCS(0); 1 forces sequential
+	// execution.  Parallel and sequential runs produce byte-identical
+	// rendered output (the golden test enforces it).
+	Parallel int
+
+	// Store memoizes specification-model traces by (algorithm, n,
+	// engine) so overlapping experiments share one execution.  nil runs
+	// every request directly (no sharing); RunSuite installs a fresh
+	// store when the caller did not provide one.
+	Store *TraceStore
+}
+
+// engine resolves the effective execution engine.
+func (c Config) engine() core.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return core.DefaultEngine()
+}
+
+// runOpts returns the core options experiments pass to direct
+// specification-model runs, threading the configured engine through.
+func (c Config) runOpts(record bool) core.Options {
+	return core.Options{RecordMessages: record, Engine: c.engine()}
+}
+
+// Trace returns the memoized trace of a registry algorithm at size n,
+// executing it (on the configured engine) at most once per store.
+func (c Config) Trace(name string, n int) (*core.Trace, error) {
+	run, err := c.AlgRun(name, n)
+	if err != nil {
+		return nil, err
+	}
+	return run.Trace, nil
+}
+
+// AlgRun is Trace plus the run metadata (peak memory) the matmul
+// experiments report.
+func (c Config) AlgRun(name string, n int) (AlgRun, error) {
+	if c.Store != nil {
+		return c.Store.Get(c.engine(), name, n)
+	}
+	alg, ok := TraceAlgorithmByName(name)
+	if !ok {
+		return AlgRun{}, fmt.Errorf("harness: unknown algorithm %q", name)
+	}
+	return alg.Run(c.engine(), n)
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(cfg Config) ([]*Result, error)
+}
+
+var registry []Experiment
+
+// register adds an experiment to the suite registry.
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns the full registry in declaration order.
+func Experiments() []Experiment { return registry }
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Record is the structured outcome of one experiment in a suite run.
+type Record struct {
+	// ID, Title, PaperRef identify the experiment.
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	PaperRef string `json:"paper_ref"`
+	// Results holds the experiment's typed result sets.
+	Results []*Result `json:"results,omitempty"`
+	// Err is the execution error, if the experiment failed to run.
+	Err string `json:"error,omitempty"`
+	// Elapsed is the experiment's wall-clock time.  It is excluded from
+	// every sink (timings are schedule-dependent; the determinism
+	// guarantee covers rendered output) and reported only through the
+	// bench report.
+	Elapsed time.Duration `json:"-"`
+}
+
+// CheckCounts totals the check outcomes across the record's results.
+func (r Record) CheckCounts() (passed, failed int) {
+	for _, res := range r.Results {
+		for _, c := range res.Checks {
+			if c.Pass {
+				passed++
+			} else {
+				failed++
+			}
+		}
+	}
+	return passed, failed
+}
+
+// Passed reports whether the experiment ran and every check passed.
+func (r Record) Passed() bool {
+	if r.Err != "" {
+		return false
+	}
+	_, failed := r.CheckCounts()
+	return failed == 0
+}
+
+// ResolveIDs expands the id list for RunSuite: nil, empty, or the single
+// word "all" selects the full registry; anything else must name
+// registered experiments.
+func ResolveIDs(ids []string) ([]Experiment, error) {
+	if len(ids) == 0 || (len(ids) == 1 && strings.EqualFold(ids[0], "all")) {
+		return Experiments(), nil
+	}
+	exps := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	return exps, nil
+}
+
+// RunSuite executes the selected experiments through a bounded worker
+// pool and returns one Record per experiment, in selection order
+// regardless of completion order.  Every experiment derives its inputs
+// from its own fixed-seed RNG and traces are shared through the
+// single-flight store, so the records — and therefore all rendered
+// output — are independent of the parallel schedule.
+func RunSuite(cfg Config, ids []string) ([]Record, error) {
+	exps, err := ResolveIDs(ids)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewTraceStore()
+	}
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	recs := make([]Record, len(exps))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				recs[i] = runOne(cfg, exps[i])
+			}
+		}()
+	}
+	for i := range exps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return recs, nil
+}
+
+// runOne executes a single experiment into its record.
+func runOne(cfg Config, e Experiment) Record {
+	rec := Record{ID: e.ID, Title: e.Title, PaperRef: e.PaperRef}
+	start := time.Now()
+	results, err := e.Run(cfg)
+	rec.Elapsed = time.Since(start)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.Results = results
+	return rec
+}

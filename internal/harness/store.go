@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"fmt"
+
+	"netoblivious/internal/core"
+)
+
+// AlgRun bundles a registry algorithm's communication trace with the run
+// metadata some experiments report alongside it.
+type AlgRun struct {
+	// Trace is the recorded communication of the M(v) execution.
+	Trace *core.Trace
+	// PeakEntries is the peak per-VP matrix-entry count of the matmul
+	// family (its memory-blow-up metric); 0 for other algorithms.
+	PeakEntries int
+}
+
+// TraceStore memoizes registry-algorithm runs by (algorithm, n, engine).
+// The paper's algorithms are static — their communication depends only
+// on the input size — so one execution per key serves every experiment
+// that needs the trace: E1/E2/E8/E9/E10/E12/E13 all fold the same
+// handful of traces, and without the store each recomputed them.
+// The store is safe for concurrent use and computations are
+// single-flight (core.Store), which also keeps the suite's hit/miss
+// counters schedule-independent.
+type TraceStore struct {
+	store *core.Store[AlgRun]
+}
+
+// NewTraceStore returns an empty store.
+func NewTraceStore() *TraceStore {
+	return &TraceStore{store: core.NewStore[AlgRun]()}
+}
+
+// Get returns the memoized run of the named registry algorithm at size
+// n on the given engine, executing it on first use.
+func (ts *TraceStore) Get(eng core.Engine, name string, n int) (AlgRun, error) {
+	if eng == nil {
+		eng = core.DefaultEngine()
+	}
+	alg, ok := TraceAlgorithmByName(name)
+	if !ok {
+		return AlgRun{}, fmt.Errorf("harness: unknown algorithm %q", name)
+	}
+	key := core.TraceKey{Algorithm: name, N: n, Engine: eng.Name()}
+	return ts.store.Get(key.String(), func() (AlgRun, error) {
+		return alg.Run(eng, n)
+	})
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (ts *TraceStore) Stats() core.StoreStats { return ts.store.Stats() }

@@ -66,6 +66,13 @@ type Options struct {
 	Semiring *Semiring
 	// Record enables message-pair recording in the trace.
 	Record bool
+	// Engine selects the core execution engine; nil uses the default.
+	Engine core.Engine
+}
+
+// runOpts translates Options into the core run options.
+func (o Options) runOpts() core.Options {
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
 }
 
 // Result carries the product and the communication trace of the run.
@@ -139,7 +146,7 @@ func Multiply(s int, a, b []int64, opts Options) (*Result, error) {
 		myC := w.rec8(0, vp.V(), s, []int64{a[vp.ID()]}, []int64{b[vp.ID()]})
 		c[vp.ID()] = myC[0]
 	}
-	tr, err := core.RunOpt(n, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(n, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}

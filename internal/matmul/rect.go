@@ -102,7 +102,7 @@ func MultiplyRect(m, k, n, v int, a, b []int64, opts Options) (*RectResult, erro
 		cLo, cHi := shr(m*n, v, vp.ID())
 		copy(c[cLo:cHi], myC)
 	}
-	tr, err := core.RunOpt(v, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(v, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}

@@ -29,7 +29,7 @@ func MultiplySpaceEfficient(s int, a, b []int64, opts Options) (*Result, error) 
 		w := &worker{vp: vp, sr: sr, wise: opts.Wise, peak: &peaks[vp.ID()]}
 		c[vp.ID()] = w.rec4(0, vp.V(), s, a[vp.ID()], b[vp.ID()])
 	}
-	tr, err := core.RunOpt(n, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(n, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,13 @@ func Max() Op {
 // Options configures a scan run.
 type Options struct {
 	Record bool
+	// Engine selects the core execution engine; nil uses the default.
+	Engine core.Engine
+}
+
+// runOpts translates Options into the core run options.
+func (o Options) runOpts() core.Options {
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
 }
 
 // Result carries the inclusive prefix and the trace.
@@ -105,7 +112,7 @@ func Scan(xs []int64, op Op, opts Options) (*Result, error) {
 		}
 		out[vp.ID()] = val
 	}
-	tr, err := core.RunOpt(v, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(v, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +173,7 @@ func ScanTree(xs []int64, op Op, opts Options) (*Result, error) {
 		}
 		out[id] = op.Combine(before, xs[id])
 	}
-	tr, err := core.RunOpt(v, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(v, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}

@@ -80,6 +80,13 @@ func (s Spec) Run() (*core.Trace, error) {
 	return core.Run(s.V, s.Program())
 }
 
+// RunOpt is Run with explicit core options (engine selection, message
+// recording), so callers running specs concurrently need not touch the
+// process-wide default engine.
+func (s Spec) RunOpt(opts core.Options) (*core.Trace, error) {
+	return core.RunOpt(s.V, s.Program(), opts)
+}
+
 // ExpectedDegree computes, independently of the runtime, the degree
 // h_s(n, p) of step t under folding on p processors, by brute force over
 // the message list.  Used to cross-check the runtime's incremental

@@ -15,6 +15,13 @@ type Options struct {
 	// K overrides the recursion degree (default 2^⌈√log n⌉, the paper's
 	// choice).  Used by the ablation benches; must be a power of two >= 2.
 	K int
+	// Engine selects the core execution engine; nil uses the default.
+	Engine core.Engine
+}
+
+// runOpts translates Options into the core run options.
+func (o Options) runOpts() core.Options {
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
 }
 
 // Result carries the evaluated space-time grid and the trace.
@@ -108,7 +115,7 @@ func Run(n, d int, in []int64, opts Options) (*Result, error) {
 	}
 	if n == 1 {
 		// Trivial instance: one node per spatial point at t=0, all local.
-		tr, err := core.Run(1, func(vp *core.VP[payload]) {})
+		tr, err := core.RunOpt(1, func(vp *core.VP[payload]) {}, opts.runOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +151,7 @@ func Run(n, d int, in []int64, opts Options) (*Result, error) {
 			vals: make(map[node]int64)}
 		w.evalBox(g.root())
 	}
-	tr, err := core.RunOpt(v, prog, core.Options{RecordMessages: opts.Record})
+	tr, err := core.RunOpt(v, prog, opts.runOpts())
 	if err != nil {
 		return nil, err
 	}
