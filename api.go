@@ -27,7 +27,14 @@
 //     prefix — the paper's Section 4 algorithms, executed for real and
 //     verified against sequential references;
 //   - internal/harness + cmd/nobl — the experiment suite regenerating
-//     every theorem's bound as a measured table (see EXPERIMENTS.md).
+//     every theorem's bound as a measured table (see EXPERIMENTS.md);
+//   - internal/service + cmd/nobld — a long-running HTTP analysis
+//     service: closed-form answers synchronously, simulation-backed
+//     answers through a priority job queue with bounded workers, SSE
+//     progress, per-job cancellation (RunOptions.Context reaches
+//     superstep granularity in both engines) and process-lifetime LRU
+//     caches with single-flight dedup.  `nobl remote` targets a shared
+//     daemon from the CLI.
 //
 // This root package re-exports the types a downstream user needs to write
 // and analyze their own network-oblivious algorithms without importing
@@ -54,8 +61,10 @@ type Program[P any] = core.Program[P]
 // algorithm on every folding, every σ, and every D-BSP machine.
 type Trace = core.Trace
 
-// RunOptions configures a specification-model run: message recording and
-// the execution engine (RunOptions.Engine, nil for the default).
+// RunOptions configures a specification-model run: message recording,
+// the execution engine (RunOptions.Engine, nil for the default) and an
+// optional cancellation context (RunOptions.Context) that aborts the run
+// at the next superstep boundary.
 type RunOptions = core.Options
 
 // Engine selects how M(v) is executed on the host.  Engines change only

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	dbspinfo -p 64
+//	dbspinfo -p 64          aligned text tables
+//	dbspinfo -p 64 -json    the nobl/results/v1 Document schema, for
+//	                        scripting alongside `nobl -format json` and
+//	                        the nobld API
 package main
 
 import (
@@ -13,14 +16,23 @@ import (
 	"os"
 
 	"netoblivious/internal/dbsp"
+	"netoblivious/internal/harness"
 )
 
 func main() {
 	p := flag.Int("p", 64, "number of processors (power of two)")
+	asJSON := flag.Bool("json", false, "emit the preset vectors as a nobl/results/v1 JSON document")
 	flag.Parse()
 	if *p < 2 || *p&(*p-1) != 0 {
 		fmt.Fprintf(os.Stderr, "dbspinfo: p must be a power of two >= 2\n")
 		os.Exit(2)
+	}
+	if *asJSON {
+		if err := harness.EncodeDocument(os.Stdout, presetDocument(*p)); err != nil {
+			fmt.Fprintf(os.Stderr, "dbspinfo: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, pr := range dbsp.Presets(*p) {
 		fmt.Printf("%s\n", pr.Name)
@@ -35,5 +47,19 @@ func main() {
 			fmt.Printf("  admissible for Theorem 3.4: yes\n")
 		}
 		fmt.Println()
+	}
+}
+
+// presetDocument wraps the shared preset grid in the Document schema.
+func presetDocument(p int) harness.Document {
+	return harness.Document{
+		Schema: harness.DocumentSchema,
+		Engine: "none",
+		Records: []harness.Record{{
+			ID:       "dbsp-presets",
+			Title:    fmt.Sprintf("D-BSP preset parameter vectors at p=%d", p),
+			PaperRef: "§2; Euro-Par 1999",
+			Results:  []*harness.Result{harness.PresetsResult(p)},
+		}},
 	}
 }

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +43,7 @@ import (
 	"netoblivious/internal/dbsp"
 	"netoblivious/internal/eval"
 	"netoblivious/internal/harness"
+	"netoblivious/internal/service"
 )
 
 func main() {
@@ -100,10 +102,162 @@ func main() {
 		runTrace(engine, args[1:])
 	case "stat":
 		runStat(args[1:])
+	case "remote":
+		os.Exit(runRemote(f, args[1:]))
 	default:
 		usage()
 		os.Exit(2)
 	}
+}
+
+// runRemote drives a shared nobld daemon instead of computing locally.
+// The subcommand comes first; its flags follow (before or after the
+// positional argument):
+//
+//	nobl remote algorithms [-addr URL]
+//	nobl remote analyze <alg> [-addr URL] [-n N] [-kind K] [-p P] [-sigma S] [-wait] [-priority P]
+//	nobl remote job <id> [-addr URL] [-cancel]
+//	nobl remote metrics [-addr URL]
+//
+// Documents come back in the same schema `nobl -format json run` emits
+// and are rendered through the same sinks (-format applies).
+func runRemote(f harness.Format, args []string) int {
+	fs := flag.NewFlagSet("remote", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7413", "nobld base URL")
+	n := fs.Int("n", 1024, "input size")
+	kind := fs.String("kind", "trace", "analysis kind (bounds|machines|trace|dbsp|cache|network)")
+	p := fs.Int("p", 0, "evaluation machine processors (0 = server default sweep)")
+	sigma := fs.Float64("sigma", 0, "evaluation machine σ")
+	wait := fs.Bool("wait", true, "block until asynchronous analyses complete")
+	priority := fs.Int("priority", 0, "job priority (higher runs first)")
+	cancel := fs.Bool("cancel", false, "with 'job': cancel instead of show")
+	sub, rest := splitName(args)
+	name := ""
+	if sub == "analyze" || sub == "job" {
+		// The algorithm / job id may precede the flags.
+		name, rest = splitName(rest)
+	}
+	_ = fs.Parse(rest)
+	if name == "" && fs.NArg() >= 1 {
+		name = fs.Arg(0)
+	}
+	ctx := context.Background()
+	client := service.NewClient(*addr)
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "nobl remote: %v\n", err)
+		return 1
+	}
+	switch sub {
+	case "algorithms":
+		resp, err := client.Algorithms(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		for _, a := range resp.Algorithms {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("kinds: %v (engine %s)\n", resp.Kinds, resp.Engine)
+	case "analyze":
+		if name == "" && *kind != "machines" && *kind != "network" {
+			fmt.Fprintln(os.Stderr, "nobl remote analyze: need an algorithm name")
+			return 2
+		}
+		req := service.Request{
+			Algorithm: name,
+			Kind:      service.Kind(*kind),
+			N:         *n,
+			Priority:  *priority,
+			Wait:      *wait,
+		}
+		if *p != 0 {
+			req.Machines = []service.MachineSpec{{P: *p, Sigma: *sigma}}
+		}
+		resp, err := client.Analyze(ctx, req)
+		if err != nil {
+			return fail(err)
+		}
+		if resp.JobID != "" && resp.Document == nil {
+			// Asynchronous submission: follow the job to completion.
+			fmt.Fprintf(os.Stderr, "nobl remote: job %s %s; streaming progress\n", resp.JobID, resp.Status)
+			info, err := client.WaitJob(ctx, resp.JobID, func(ev service.Event) {
+				fmt.Fprintf(os.Stderr, "nobl remote: [%s] %s %s\n", resp.JobID, ev.Stage, ev.Detail)
+			})
+			if err != nil {
+				return fail(err)
+			}
+			if info.Response == nil {
+				return fail(fmt.Errorf("job %s finished %s without a response", resp.JobID, info.Status))
+			}
+			resp = *info.Response
+		}
+		if resp.Error != "" {
+			return fail(fmt.Errorf("%s: %s", resp.Status, resp.Error))
+		}
+		if err := renderDocument(f, resp.Document); err != nil {
+			return fail(err)
+		}
+		if resp.Cached {
+			fmt.Fprintln(os.Stderr, "nobl remote: served from cache")
+		}
+	case "job":
+		if name == "" {
+			fmt.Fprintln(os.Stderr, "nobl remote job: need a job id")
+			return 2
+		}
+		var info service.JobInfo
+		var err error
+		if *cancel {
+			info, err = client.CancelJob(ctx, name)
+		} else {
+			info, err = client.Job(ctx, name)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("job %s: %s (%s %s n=%d)\n", info.ID, info.Status, info.Request.Kind, info.Request.Algorithm, info.Request.N)
+		for _, ev := range info.Events {
+			fmt.Printf("  %2d %-10s %s\n", ev.Seq, ev.Stage, ev.Detail)
+		}
+		if info.Response != nil && info.Response.Document != nil {
+			if err := renderDocument(f, info.Response.Document); err != nil {
+				return fail(err)
+			}
+		}
+	case "metrics":
+		snap, err := client.Metrics(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			return fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "nobl remote: need one of algorithms|analyze|job|metrics")
+		return 2
+	}
+	return 0
+}
+
+// renderDocument writes a service document through the standard sinks.
+func renderDocument(f harness.Format, doc *harness.Document) error {
+	if doc == nil {
+		return fmt.Errorf("no document in response")
+	}
+	if f == harness.FormatJSON {
+		return harness.EncodeDocument(os.Stdout, *doc)
+	}
+	sink, err := harness.NewSink(f, os.Stdout, harness.Config{})
+	if err != nil {
+		return err
+	}
+	for _, rec := range doc.Records {
+		if err := sink.Write(rec); err != nil {
+			return err
+		}
+	}
+	return sink.Close()
 }
 
 // runSuite executes the selected experiments, renders them through the
@@ -273,7 +427,7 @@ func runTrace(engine core.Engine, args []string) {
 		fmt.Fprintf(os.Stderr, "nobl trace: unknown algorithm %q\n", name)
 		os.Exit(1)
 	}
-	run, err := alg.Run(engine, *n)
+	run, err := alg.Run(context.Background(), engine, *n, false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
 		os.Exit(1)
@@ -361,6 +515,9 @@ usage:
   nobl algorithms
   nobl trace <alg> [-n N] [-o file]
   nobl stat <file> [-p P] [-sigma σ]
+  nobl remote <algorithms|analyze|job|metrics> [-addr URL] ...
+              target a shared nobld daemon instead of computing locally
+              (analyze <alg> [-n N] [-kind K] [-p P] [-sigma σ] [-wait])
 
 flags:
   -quick      reduced problem sizes

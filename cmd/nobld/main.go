@@ -1,0 +1,101 @@
+// Command nobld is the network-oblivious analysis daemon: a long-running
+// HTTP service answering analysis queries over the algorithm registry —
+// closed-form bounds synchronously, simulation-backed measurements
+// through a priority job queue with a bounded worker pool, per-job
+// cancellation/timeout, SSE progress streaming, and process-lifetime LRU
+// caches with single-flight dedup.
+//
+// Endpoints:
+//
+//	POST   /v1/analyze          one analysis request (see internal/service.Request)
+//	POST   /v1/analyze/batch    many requests in one call
+//	GET    /v1/jobs/{id}        job status, event log, terminal response
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/algorithms       algorithm registry and analysis kinds
+//	GET    /metrics             counters (Prometheus text; ?format=json)
+//	GET    /healthz             liveness
+//
+// Usage:
+//
+//	nobld -addr :7413 -workers 4 -cache-entries 512 -trace-entries 64 \
+//	      -queue 1024 -timeout 2m -engine block
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, running jobs are
+// cancelled, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"netoblivious/internal/core"
+	"netoblivious/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":7413", "listen address")
+	workers := flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 1024, "max queued jobs before 503")
+	cacheEntries := flag.Int("cache-entries", 512, "result cache LRU capacity (-1 = unbounded)")
+	traceEntries := flag.Int("trace-entries", 64, "trace cache LRU capacity (-1 = unbounded)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job execution timeout")
+	engineName := flag.String("engine", core.DefaultEngine().Name(),
+		"execution engine: "+strings.Join(core.EngineNames(), "|"))
+	flag.Parse()
+
+	engine, err := core.EngineByName(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobld: %v\n", err)
+		os.Exit(2)
+	}
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		QueueLimit:   *queue,
+		CacheEntries: *cacheEntries,
+		TraceEntries: *traceEntries,
+		JobTimeout:   *timeout,
+		Engine:       engine,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("nobld: listening on %s (engine=%s, workers=%d, cache=%d, traces=%d, queue=%d, timeout=%s)",
+			*addr, engine.Name(), *workers, *cacheEntries, *traceEntries, *queue, *timeout)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("nobld: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("nobld: shutdown: %v", err)
+		}
+		srv.Close()
+		log.Printf("nobld: bye")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			srv.Close()
+			log.Fatalf("nobld: %v", err)
+		}
+	}
+}

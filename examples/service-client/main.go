@@ -1,0 +1,117 @@
+// Command service-client demonstrates the nobld HTTP API through the Go
+// client package: list the algorithm registry, run a synchronous
+// closed-form analysis, submit an asynchronous trace analysis with SSE
+// progress, re-request it to show the cache hit, and read the metrics.
+//
+// By default it spins up an in-process server (no daemon needed):
+//
+//	go run ./examples/service-client
+//
+// Point it at a running daemon instead with -addr:
+//
+//	nobld &
+//	go run ./examples/service-client -addr http://127.0.0.1:7413
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+
+	"netoblivious/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "nobld base URL (empty: start an in-process server)")
+	flag.Parse()
+	ctx := context.Background()
+
+	base := *addr
+	if base == "" {
+		srv := service.New(service.Config{Workers: 2})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("started in-process nobld at %s\n\n", base)
+	}
+	client := service.NewClient(base)
+	if err := client.Health(ctx); err != nil {
+		log.Fatalf("service-client: %v", err)
+	}
+
+	// 1. The registry: what can be analyzed, and how.
+	algs, err := client.Algorithms(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registry: %d algorithms, kinds %v, engine %s\n", len(algs.Algorithms), algs.Kinds, algs.Engine)
+
+	// 2. Closed-form bounds: answered synchronously.
+	resp, err := client.Analyze(ctx, service.Request{
+		Algorithm: "fft", N: 4096, Kind: service.KindBounds,
+		Machines: []service.MachineSpec{{P: 16, Sigma: 4}, {P: 64, Sigma: 4}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printDocument("closed-form bounds", resp)
+
+	// 3. A measured trace analysis: submitted as a job, progress over SSE.
+	// Against a persistent daemon the key may already be cached, in which
+	// case the document comes back inline with no job to follow.
+	submit, err := client.Analyze(ctx, service.Request{Algorithm: "fft", N: 1024, Kind: service.KindTrace})
+	if err != nil {
+		log.Fatal(err)
+	}
+	traced := submit
+	if submit.JobID != "" {
+		fmt.Printf("submitted job %s (%s); streaming progress:\n", submit.JobID, submit.Status)
+		info, err := client.WaitJob(ctx, submit.JobID, func(ev service.Event) {
+			fmt.Printf("  [%d] %s %s\n", ev.Seq, ev.Stage, ev.Detail)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.Response == nil || info.Response.Document == nil {
+			log.Fatalf("job %s finished %s: %+v", info.ID, info.Status, info.Response)
+		}
+		traced = *info.Response
+	} else {
+		fmt.Printf("trace analysis served inline (cached=%v)\n", submit.Cached)
+	}
+	printDocument("measured trace analysis", traced)
+
+	// 4. The same request again: served from the LRU result cache.
+	again, err := client.Analyze(ctx, service.Request{Algorithm: "fft", N: 1024, Kind: service.KindTrace})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat request: status=%s cached=%v\n\n", again.Status, again.Cached)
+
+	// 5. Operational counters.
+	snap, err := client.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics: result cache %d hits / %d misses (hit rate %.0f%%), queue depth %d, jobs done %d\n",
+		snap.Results.Hits, snap.Results.Misses, 100*snap.Results.HitRate, snap.QueueDepth, snap.Jobs.Done)
+}
+
+// printDocument renders every result grid of a response as text.
+func printDocument(label string, resp service.Response) {
+	fmt.Printf("--- %s ---\n", label)
+	if resp.Document == nil {
+		fmt.Fprintf(os.Stderr, "no document (status %s, error %q)\n", resp.Status, resp.Error)
+		return
+	}
+	for _, rec := range resp.Document.Records {
+		for _, res := range rec.Results {
+			fmt.Print(res.Text())
+		}
+	}
+	fmt.Println()
+}

@@ -26,6 +26,7 @@
 package colsort
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,11 +45,14 @@ type Options struct {
 	BaseSize int
 	// Engine selects the core execution engine; nil uses the default.
 	Engine core.Engine
+	// Ctx cancels the specification-model run at superstep granularity;
+	// nil disables cancellation.
+	Ctx context.Context
 }
 
 // runOpts translates Options into the core run options.
 func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
 }
 
 // Result carries the sorted keys and the communication trace.

@@ -375,6 +375,11 @@ func (b *blockRun[P]) coordinate() {
 		b.phase = phaseDone
 		return
 	}
+	if err := m.ctxErr(); err != nil {
+		m.fail(err)
+		b.phase = phaseDrain
+		return
+	}
 	v := m.v
 	label := -1
 	for r := 0; r < v; {

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// spinProgram returns a program of total supersteps that counts, on VP 0,
+// how many supersteps actually executed, and cancels ctx once VP 0 passes
+// cancelAt supersteps.
+func spinProgram(total, cancelAt int, cancel context.CancelFunc, executed *atomic.Int64) Program[int] {
+	return func(vp *VP[int]) {
+		for s := 0; s < total; s++ {
+			if vp.ID() == 0 {
+				executed.Add(1)
+				if s == cancelAt {
+					cancel()
+				}
+			}
+			vp.Send(vp.ID()^1, s)
+			vp.Sync(0)
+		}
+	}
+}
+
+// TestRunCancellationMidRun: cancelling the context mid-run aborts both
+// engines within a bounded number of supersteps, the returned error wraps
+// context.Canceled, and the machine does not keep burning supersteps.
+func TestRunCancellationMidRun(t *testing.T) {
+	const total, cancelAt = 200, 5
+	for _, eng := range []Engine{GoroutineEngine{}, BlockEngine{}} {
+		t.Run(eng.Name(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var executed atomic.Int64
+			_, err := RunOpt(8, spinProgram(total, cancelAt, cancel, &executed), Options{
+				Engine:  eng,
+				Context: ctx,
+			})
+			if err == nil {
+				t.Fatal("cancelled run returned nil error")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v does not wrap context.Canceled", err)
+			}
+			// The abort lands at the next superstep boundary: VP 0 may
+			// execute at most a couple of supersteps past the cancel
+			// point, never the full program.
+			if got := executed.Load(); got > cancelAt+2 || got >= total {
+				t.Errorf("VP 0 executed %d supersteps after cancel at %d; abort did not propagate", got, cancelAt)
+			}
+		})
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	for _, eng := range []Engine{GoroutineEngine{}, BlockEngine{}} {
+		_, err := RunOpt(4, func(vp *VP[int]) {
+			ran.Store(true)
+			vp.Sync(0)
+		}, Options{Engine: eng, Context: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", eng.Name(), err)
+		}
+	}
+	if ran.Load() {
+		t.Error("program ran despite pre-cancelled context")
+	}
+}
+
+// TestRunNilContextUnaffected: runs without a context behave exactly as
+// before the cancellation plumbing.
+func TestRunNilContextUnaffected(t *testing.T) {
+	for _, eng := range []Engine{GoroutineEngine{}, BlockEngine{}} {
+		tr, err := RunOpt(4, func(vp *VP[int]) {
+			vp.Send(vp.ID()^1, 1)
+			vp.Sync(0)
+		}, Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if tr.NumSupersteps() != 1 || tr.TotalMessages() != 4 {
+			t.Errorf("%s: trace %d steps / %d msgs", eng.Name(), tr.NumSupersteps(), tr.TotalMessages())
+		}
+	}
+}

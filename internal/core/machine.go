@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -32,6 +33,15 @@ type Options struct {
 	// Every engine produces the same Trace for valid programs; see the
 	// Engine documentation for the trade-offs.
 	Engine Engine
+
+	// Context cancels the run: once it is done, the machine aborts at the
+	// next superstep boundary and Run returns an error wrapping
+	// Context.Err() (test with errors.Is).  The check sits on the
+	// once-per-superstep coordination path of both engines, so
+	// cancellation costs nothing on the per-VP hot path and a cancelled
+	// request stops burning CPU within one superstep.  nil disables
+	// cancellation.
+	Context context.Context
 }
 
 // Program is the code executed by every virtual processor of M(v).  The
@@ -192,9 +202,12 @@ func (vp *VP[P]) syncGoroutine(label int) {
 	}
 	b.count++
 	if b.count == size {
-		// Last arriver: deliver the cluster's messages, advance the
-		// generation and release the waiters.
-		err := m.deliver(label, cluster*size, size, vp.step)
+		// Last arriver: check for cancellation, deliver the cluster's
+		// messages, advance the generation and release the waiters.
+		err := m.ctxErr()
+		if err == nil {
+			err = m.deliver(label, cluster*size, size, vp.step)
+		}
 		if err != nil {
 			b.mu.Unlock()
 			m.fail(err)
@@ -318,6 +331,19 @@ func (m *machine[P]) deliver(label, first, size, step int) error {
 	return m.trace.merge(step, label, levelMax, total, pairs)
 }
 
+// ctxErr reports the run context's cancellation, wrapped so callers can
+// errors.Is against context.Canceled/DeadlineExceeded; nil while the run
+// may proceed.
+func (m *machine[P]) ctxErr() error {
+	if m.opts.Context == nil {
+		return nil
+	}
+	if err := m.opts.Context.Err(); err != nil {
+		return fmt.Errorf("core: run cancelled: %w", err)
+	}
+	return nil
+}
+
 func (m *machine[P]) fail(err error) {
 	m.failOnce.Do(func() {
 		m.errMu.Lock()
@@ -410,6 +436,11 @@ func RunOpt[P any](v int, prog Program[P], opts Options) (*Trace, error) {
 	eng := opts.Engine
 	if eng == nil {
 		eng = DefaultEngine()
+	}
+	if opts.Context != nil {
+		if err := opts.Context.Err(); err != nil {
+			return nil, fmt.Errorf("core: run cancelled: %w", err)
+		}
 	}
 	m := newMachine[P](v, opts)
 	switch e := eng.(type) {

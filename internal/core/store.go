@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,8 @@ type StoreStats struct {
 	Hits int64
 	// Misses counts Get calls that had to compute the value.
 	Misses int64
+	// Evictions counts completed entries discarded by the LRU bound.
+	Evictions int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 when the store is unused.
@@ -46,29 +49,60 @@ func (s StoreStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Store is a keyed, concurrency-safe, single-flight memo store.  The
-// first Get for a key computes the value; concurrent and later Gets for
-// the same key wait for (or reuse) that single computation.  Errors are
-// cached alongside values: a failed computation is not retried, so every
-// caller of a key observes the same outcome — a property the experiment
-// suite relies on for schedule-independent output.
+// Store is a keyed, concurrency-safe, single-flight memo store with an
+// optional LRU capacity bound.  The first Get for a key computes the
+// value; concurrent and later Gets for the same key wait for (or reuse)
+// that single computation.  Errors are cached alongside values: a failed
+// computation is not retried, so every caller of a key observes the same
+// outcome — a property the experiment suite relies on for
+// schedule-independent output.  (Callers that must not memoize an error —
+// e.g. a cancelled context — Forget the key instead.)
+//
+// A bounded store (NewBoundedStore) keeps at most capacity completed
+// entries, discarding the least recently used beyond that; a long-running
+// process can therefore share one store across its whole lifetime without
+// unbounded growth.  In-flight computations are never evicted — a waiter
+// always observes the computation it joined — so the resident entry count
+// may transiently exceed the capacity by the number of computations in
+// flight.
 type Store[V any] struct {
-	mu      sync.Mutex
-	entries map[string]*storeEntry[V]
-	hits    atomic.Int64
-	misses  atomic.Int64
+	mu        sync.Mutex
+	capacity  int // 0 = unbounded
+	entries   map[string]*storeEntry[V]
+	lru       *list.List // completed entries; front = most recently used
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type storeEntry[V any] struct {
+	key  string
 	done chan struct{} // closed when val/err are set
 	val  V
 	err  error
+	elem *list.Element // non-nil once completed and resident
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty unbounded store.
 func NewStore[V any]() *Store[V] {
-	return &Store[V]{entries: map[string]*storeEntry[V]{}}
+	return NewBoundedStore[V](0)
 }
+
+// NewBoundedStore returns an empty store keeping at most capacity
+// completed entries under LRU eviction; capacity <= 0 means unbounded.
+func NewBoundedStore[V any](capacity int) *Store[V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Store[V]{
+		capacity: capacity,
+		entries:  map[string]*storeEntry[V]{},
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the LRU bound (0 = unbounded).
+func (s *Store[V]) Capacity() int { return s.capacity }
 
 // Get returns the value for key, computing it with compute on the first
 // call.  compute runs at most once per key across all goroutines; callers
@@ -77,18 +111,107 @@ func (s *Store[V]) Get(key string, compute func() (V, error)) (V, error) {
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	if ok {
+		if e.elem != nil {
+			s.lru.MoveToFront(e.elem)
+		}
 		s.mu.Unlock()
 		s.hits.Add(1)
 		<-e.done
 		return e.val, e.err
 	}
-	e = &storeEntry[V]{done: make(chan struct{})}
+	e = &storeEntry[V]{key: key, done: make(chan struct{})}
 	s.entries[key] = e
 	s.mu.Unlock()
 	s.misses.Add(1)
 	e.val, e.err = compute()
 	close(e.done)
+	s.mu.Lock()
+	// The entry enters the LRU order only now that it is completed; a
+	// Forget during the computation removed it from the map, in which case
+	// it must not resurface.
+	if s.entries[key] == e {
+		e.elem = s.lru.PushFront(e)
+		s.evictLocked()
+	}
+	s.mu.Unlock()
 	return e.val, e.err
+}
+
+// Peek returns the completed value for key without ever computing.  ok
+// reports whether a completed entry exists; in-flight computations report
+// !ok (Peek never blocks).  A successful Peek counts as a hit and
+// refreshes the entry's LRU position; a failed one is not counted as a
+// miss (nothing was computed).
+func (s *Store[V]) Peek(key string) (val V, err error, ok bool) {
+	s.mu.Lock()
+	e, exists := s.entries[key]
+	if !exists || e.elem == nil {
+		s.mu.Unlock()
+		var zero V
+		return zero, nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return e.val, e.err, true
+}
+
+// Forget removes key from the store, so a later Get recomputes it.  It
+// reports whether an entry (completed or in flight) was removed.  Waiters
+// already joined to an in-flight computation still observe its outcome;
+// the outcome is simply not retained.  Forget is how callers drop a
+// memoized error they do not want to be sticky (e.g. a cancelled run).
+func (s *Store[V]) Forget(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	if e.elem != nil {
+		s.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	delete(s.entries, key)
+	return true
+}
+
+// ForgetIf removes key only when its entry is completed and its outcome
+// satisfies pred.  In-flight computations and entries that fail pred are
+// left untouched, so a caller reacting to a stale outcome (e.g. a
+// cancellation error it received earlier) can never evict the fresh
+// entry that replaced it — the race unconditional Forget is exposed to
+// when several waiters of one failed computation all try to drop it.
+func (s *Store[V]) ForgetIf(key string, pred func(val V, err error) bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || e.elem == nil {
+		return false
+	}
+	if !pred(e.val, e.err) {
+		return false
+	}
+	s.lru.Remove(e.elem)
+	e.elem = nil
+	delete(s.entries, key)
+	return true
+}
+
+// evictLocked discards least-recently-used completed entries beyond the
+// capacity.  Called with s.mu held.
+func (s *Store[V]) evictLocked() {
+	if s.capacity <= 0 {
+		return
+	}
+	for s.lru.Len() > s.capacity {
+		back := s.lru.Back()
+		victim := back.Value.(*storeEntry[V])
+		s.lru.Remove(back)
+		victim.elem = nil
+		delete(s.entries, victim.key)
+		s.evictions.Add(1)
+	}
 }
 
 // Len returns the number of keyed entries (completed or in flight).
@@ -98,7 +221,7 @@ func (s *Store[V]) Len() int {
 	return len(s.entries)
 }
 
-// Stats returns the cumulative hit/miss counters.
+// Stats returns the cumulative hit/miss/eviction counters.
 func (s *Store[V]) Stats() StoreStats {
-	return StoreStats{Hits: s.hits.Load(), Misses: s.misses.Load()}
+	return StoreStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Evictions: s.evictions.Load()}
 }

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStoreSingleFlight(t *testing.T) {
+	s := NewStore[int]()
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := s.Get("k", func() (int, error) {
+				computes.Add(1)
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("Get = %d, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	st := s.Stats()
+	if st.Hits != 31 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 31 hits / 1 miss", st)
+	}
+}
+
+// TestStoreLRUEvictionOrder fills a bounded store beyond capacity and
+// asserts that exactly the least-recently-used entries fall out, with Get
+// recency (not insertion order) defining use.
+func TestStoreLRUEvictionOrder(t *testing.T) {
+	s := NewBoundedStore[string](3)
+	if s.Capacity() != 3 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+	get := func(k string) {
+		t.Helper()
+		v, err := s.Get(k, func() (string, error) { return "v" + k, nil })
+		if err != nil || v != "v"+k {
+			t.Fatalf("Get(%s) = %q, %v", k, v, err)
+		}
+	}
+	get("a")
+	get("b")
+	get("c")
+	get("a") // refresh a: b is now the LRU entry
+	get("d") // evicts b
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if _, _, ok := s.Peek("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, _, ok := s.Peek(k); !ok {
+			t.Errorf("%s should be resident", k)
+		}
+	}
+	if ev := s.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	// An evicted key recomputes on the next Get.
+	var recomputed bool
+	if _, err := s.Get("b", func() (string, error) { recomputed = true; return "vb", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Error("Get of evicted key did not recompute")
+	}
+}
+
+// TestStoreLRUSingleFlightInteraction: an in-flight computation is never
+// evicted — waiters that joined it observe its outcome even while newer
+// completed entries churn the LRU list past capacity.
+func TestStoreLRUSingleFlightInteraction(t *testing.T) {
+	s := NewBoundedStore[int](1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var inflightVal atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := s.Get("slow", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("slow Get: %v", err)
+		}
+		inflightVal.Store(int64(v))
+	}()
+	<-started
+	// Churn the capacity-1 store while "slow" is in flight.
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("fast%d", i)
+		if _, err := s.Get(k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second waiter joins the in-flight computation (a hit).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := s.Get("slow", func() (int, error) {
+			t.Error("joined computation must not recompute")
+			return -1, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("joined Get = %d, %v; want 42", v, err)
+		}
+	}()
+	close(release)
+	wg.Wait()
+	if inflightVal.Load() != 42 {
+		t.Errorf("in-flight computation returned %d, want 42", inflightVal.Load())
+	}
+	// Once completed, "slow" entered the LRU order most-recently-used and
+	// the bound holds again.
+	if s.Len() > 2 {
+		t.Errorf("Len = %d after churn; capacity bound not enforced", s.Len())
+	}
+}
+
+func TestStoreForget(t *testing.T) {
+	s := NewStore[int]()
+	sentinel := errors.New("boom")
+	if _, err := s.Get("k", func() (int, error) { return 0, sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	// Errors are sticky until forgotten.
+	if _, err := s.Get("k", func() (int, error) { return 1, nil }); !errors.Is(err, sentinel) {
+		t.Fatalf("memoized error not returned: %v", err)
+	}
+	if !s.Forget("k") {
+		t.Fatal("Forget found nothing")
+	}
+	if s.Forget("k") {
+		t.Fatal("double Forget succeeded")
+	}
+	v, err := s.Get("k", func() (int, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("Get after Forget = %d, %v", v, err)
+	}
+}
+
+// TestStoreForgetInFlight: forgetting a key mid-computation detaches it —
+// waiters still get the outcome, but the store does not retain it.
+func TestStoreForgetInFlight(t *testing.T) {
+	s := NewStore[int]()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := s.Get("k", func() (int, error) {
+			close(started)
+			<-release
+			return 9, nil
+		})
+		if err != nil || v != 9 {
+			t.Errorf("Get = %d, %v", v, err)
+		}
+	}()
+	<-started
+	if !s.Forget("k") {
+		t.Fatal("Forget of in-flight entry failed")
+	}
+	close(release)
+	wg.Wait()
+	if _, _, ok := s.Peek("k"); ok {
+		t.Error("forgotten in-flight entry resurfaced after completion")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+// TestStoreForgetIf: conditional removal touches only completed entries
+// whose outcome matches the predicate — the guard that keeps a stale
+// waiter from evicting a fresh recomputation.
+func TestStoreForgetIf(t *testing.T) {
+	s := NewStore[int]()
+	boom := errors.New("boom")
+	isBoom := func(_ int, err error) bool { return errors.Is(err, boom) }
+	if s.ForgetIf("k", isBoom) {
+		t.Fatal("ForgetIf removed an absent key")
+	}
+	if _, err := s.Get("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if !s.ForgetIf("k", isBoom) {
+		t.Fatal("ForgetIf did not remove the matching error entry")
+	}
+	// A fresh successful entry for the same key must survive a stale
+	// ForgetIf with the old predicate.
+	if _, err := s.Get("k", func() (int, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.ForgetIf("k", isBoom) {
+		t.Fatal("stale ForgetIf evicted the fresh entry")
+	}
+	if v, _, ok := s.Peek("k"); !ok || v != 5 {
+		t.Fatalf("fresh entry lost: %d, %v", v, ok)
+	}
+	// In-flight entries are never touched.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Get("slow", func() (int, error) { close(started); <-release; return 1, nil })
+	}()
+	<-started
+	if s.ForgetIf("slow", func(int, error) bool { return true }) {
+		t.Error("ForgetIf removed an in-flight entry")
+	}
+	close(release)
+	wg.Wait()
+	if _, _, ok := s.Peek("slow"); !ok {
+		t.Error("in-flight entry vanished after completion")
+	}
+}
+
+func TestStorePeek(t *testing.T) {
+	s := NewStore[int]()
+	if _, _, ok := s.Peek("k"); ok {
+		t.Fatal("Peek of absent key succeeded")
+	}
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("failed Peek moved counters: %+v", st)
+	}
+	if _, err := s.Get("k", func() (int, error) { return 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, err, ok := s.Peek("k")
+	if !ok || err != nil || v != 3 {
+		t.Fatalf("Peek = %d, %v, %v", v, err, ok)
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}

@@ -23,6 +23,7 @@
 package fft
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -40,11 +41,14 @@ type Options struct {
 	Record bool
 	// Engine selects the core execution engine; nil uses the default.
 	Engine core.Engine
+	// Ctx cancels the specification-model run at superstep granularity;
+	// nil disables cancellation.
+	Ctx context.Context
 }
 
 // runOpts translates Options into the core run options.
 func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
 }
 
 // Result carries the transform output and the communication trace.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,7 +27,10 @@ type TraceAlgorithm struct {
 	// on the given execution engine (nil selects the default).  The
 	// engine is passed explicitly — never through the process-wide
 	// default — so concurrent runs with different engines cannot race.
-	Run func(eng core.Engine, n int) (AlgRun, error)
+	// ctx cancels the run at superstep granularity (nil disables);
+	// record enables message-pair recording in the trace, which the
+	// cache-simulation analyses require and everything else skips.
+	Run func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error)
 }
 
 // TraceAlgorithms returns the runnable algorithm registry, sorted by name.
@@ -35,13 +39,13 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "matmul",
 			Doc:  "8-way recursive n-MM (§4.1); n = matrix entries (side² = n, power of 4)",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
 				s, err := sideOf(n)
 				if err != nil {
 					return AlgRun{}, err
 				}
 				rng := seededRng()
-				r, err := matmul.Multiply(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true, Engine: eng})
+				r, err := matmul.Multiply(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}
@@ -51,13 +55,13 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "matmul-space",
 			Doc:  "space-efficient n-MM (§4.1.1); n = matrix entries",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
 				s, err := sideOf(n)
 				if err != nil {
 					return AlgRun{}, err
 				}
 				rng := seededRng()
-				r, err := matmul.MultiplySpaceEfficient(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true, Engine: eng})
+				r, err := matmul.MultiplySpaceEfficient(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}
@@ -67,8 +71,8 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "fft",
 			Doc:  "recursive n-FFT (§4.2)",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
-				r, err := fft.Transform(randComplex(seededRng(), n), fft.Options{Wise: true, Engine: eng})
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
+				r, err := fft.Transform(randComplex(seededRng(), n), fft.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}
@@ -78,8 +82,8 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "fft-iterative",
 			Doc:  "butterfly baseline FFT (§4.2 discussion)",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
-				r, err := fft.TransformIterative(randComplex(seededRng(), n), fft.Options{Wise: true, Engine: eng})
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
+				r, err := fft.TransformIterative(randComplex(seededRng(), n), fft.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}
@@ -89,8 +93,8 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "sort",
 			Doc:  "recursive Columnsort (§4.3)",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
-				r, err := colsort.Sort(randKeys(seededRng(), n), colsort.Options{Wise: true, Engine: eng})
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
+				r, err := colsort.Sort(randKeys(seededRng(), n), colsort.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}
@@ -100,8 +104,8 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "bitonic",
 			Doc:  "Batcher's bitonic network (E13 baseline)",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
-				r, err := colsort.SortBitonic(randKeys(seededRng(), n), colsort.Options{Wise: true, Engine: eng})
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
+				r, err := colsort.SortBitonic(randKeys(seededRng(), n), colsort.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}
@@ -111,8 +115,8 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "stencil1",
 			Doc:  "(n,1)-stencil diamond recursion (§4.4.1); n = spatial side",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
-				r, err := stencil.Run(n, 1, randCells(seededRng(), n), stencil.Options{Wise: true, Engine: eng})
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
+				r, err := stencil.Run(n, 1, randCells(seededRng(), n), stencil.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}
@@ -122,8 +126,8 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "stencil2",
 			Doc:  "(n,2)-stencil octahedral recursion (§4.4.2); n = spatial side, v = n²",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
-				r, err := stencil.Run(n, 2, randCells(seededRng(), n*n), stencil.Options{Wise: true, Engine: eng})
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
+				r, err := stencil.Run(n, 2, randCells(seededRng(), n*n), stencil.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}
@@ -133,8 +137,8 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "broadcast-tree",
 			Doc:  "oblivious binary-tree n-broadcast (§4.5)",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
-				r, err := broadcast.Oblivious(n, 1, broadcast.Options{Engine: eng})
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
+				r, err := broadcast.Oblivious(n, 1, broadcast.Options{Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}
@@ -144,13 +148,13 @@ func TraceAlgorithms() []TraceAlgorithm {
 		{
 			Name: "prefix-tree",
 			Doc:  "work-efficient prefix sums (§5 substrate)",
-			Run: func(eng core.Engine, n int) (AlgRun, error) {
+			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
 				rng := seededRng()
 				xs := make([]int64, n)
 				for i := range xs {
 					xs[i] = int64(rng.Intn(1000))
 				}
-				r, err := prefix.ScanTree(xs, prefix.Sum(), prefix.Options{Engine: eng})
+				r, err := prefix.ScanTree(xs, prefix.Sum(), prefix.Options{Engine: eng, Record: record, Ctx: ctx})
 				if err != nil {
 					return AlgRun{}, err
 				}

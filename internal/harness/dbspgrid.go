@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"fmt"
+
+	"netoblivious/internal/dbsp"
+)
+
+// PresetsResult renders the D-BSP preset parameter vectors at p as one
+// Result grid — the per-level (g_i, ℓ_i) rows of every built-in network —
+// with one Theorem 3.4 admissibility check per network.  It is the single
+// source of this table, shared by the nobld "machines" analysis and
+// `dbspinfo -json`.
+func PresetsResult(p int) *Result {
+	res := &Result{
+		ID:       "dbsp-presets",
+		Title:    fmt.Sprintf("D-BSP preset parameter vectors at p=%d", p),
+		PaperRef: "§2, Eq. 2; Euro-Par 1999 presets",
+		Columns:  []string{"network", "level", "cluster", "g_i", "l_i", "l_i/g_i"},
+	}
+	for _, pr := range dbsp.Presets(p) {
+		for i := range pr.G {
+			res.AddRow(pr.Name, i, p>>uint(i), pr.G[i], pr.L[i], pr.L[i]/pr.G[i])
+		}
+		err := pr.Admissible()
+		detail := "g_i and l_i/g_i nonincreasing"
+		if err != nil {
+			detail = err.Error()
+		}
+		res.AddCheck("admissible for Theorem 3.4: "+pr.Name, err == nil, "%s", detail)
+	}
+	return res
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"netoblivious/internal/colsort"
@@ -36,8 +37,8 @@ func TestEngineEquivalenceAllAlgorithms(t *testing.T) {
 		}
 		compared := 0
 		for _, n := range ns {
-			ref, refErr := alg.Run(core.GoroutineEngine{}, n)
-			got, gotErr := alg.Run(core.BlockEngine{}, n)
+			ref, refErr := alg.Run(context.Background(), core.GoroutineEngine{}, n, false)
+			got, gotErr := alg.Run(context.Background(), core.BlockEngine{}, n, false)
 			if (refErr != nil) != (gotErr != nil) {
 				t.Errorf("%s n=%d: engines disagree on validity: goroutine=%v block=%v", alg.Name, n, refErr, gotErr)
 				continue

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -36,6 +37,12 @@ type Config struct {
 	// every request directly (no sharing); RunSuite installs a fresh
 	// store when the caller did not provide one.
 	Store *TraceStore
+
+	// Context cancels the suite: experiments not yet dispatched are
+	// skipped (their records carry the cancellation error) and
+	// specification-model runs in flight abort at the next superstep.
+	// nil means no cancellation.
+	Context context.Context
 }
 
 // engine resolves the effective execution engine.
@@ -46,10 +53,19 @@ func (c Config) engine() core.Engine {
 	return core.DefaultEngine()
 }
 
+// ctx resolves the effective context.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
 // runOpts returns the core options experiments pass to direct
-// specification-model runs, threading the configured engine through.
+// specification-model runs, threading the configured engine and context
+// through.
 func (c Config) runOpts(record bool) core.Options {
-	return core.Options{RecordMessages: record, Engine: c.engine()}
+	return core.Options{RecordMessages: record, Engine: c.engine(), Context: c.Context}
 }
 
 // Trace returns the memoized trace of a registry algorithm at size n,
@@ -66,13 +82,13 @@ func (c Config) Trace(name string, n int) (*core.Trace, error) {
 // experiments report.
 func (c Config) AlgRun(name string, n int) (AlgRun, error) {
 	if c.Store != nil {
-		return c.Store.Get(c.engine(), name, n)
+		return c.Store.Get(c.ctx(), c.engine(), name, n)
 	}
 	alg, ok := TraceAlgorithmByName(name)
 	if !ok {
 		return AlgRun{}, fmt.Errorf("harness: unknown algorithm %q", name)
 	}
-	return alg.Run(c.engine(), n)
+	return alg.Run(c.ctx(), c.engine(), n, false)
 }
 
 // Experiment couples an identifier with its runner.
@@ -166,6 +182,19 @@ func ResolveIDs(ids []string) ([]Experiment, error) {
 // single-flight store, so the records — and therefore all rendered
 // output — are independent of the parallel schedule.
 func RunSuite(cfg Config, ids []string) ([]Record, error) {
+	return RunSuiteCtx(cfg.ctx(), cfg, ids)
+}
+
+// RunSuiteCtx is RunSuite bounded by a context: experiments whose worker
+// picks them up after cancellation are not executed (their records carry
+// the cancellation error), and the context is threaded into every
+// specification-model run so in-flight executions abort at the next
+// superstep instead of burning CPU to completion.
+func RunSuiteCtx(ctx context.Context, cfg Config, ids []string) ([]Record, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.Context = ctx
 	exps, err := ResolveIDs(ids)
 	if err != nil {
 		return nil, err
@@ -192,6 +221,11 @@ func RunSuite(cfg Config, ids []string) ([]Record, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if cerr := ctx.Err(); cerr != nil {
+					e := exps[i]
+					recs[i] = Record{ID: e.ID, Title: e.Title, PaperRef: e.PaperRef, Err: fmt.Sprintf("suite cancelled: %v", cerr)}
+					continue
+				}
 				recs[i] = runOne(cfg, exps[i])
 			}
 		}()

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"netoblivious/internal/core"
@@ -24,18 +26,43 @@ type AlgRun struct {
 // The store is safe for concurrent use and computations are
 // single-flight (core.Store), which also keeps the suite's hit/miss
 // counters schedule-independent.
+//
+// A bounded store (NewBoundedTraceStore) additionally evicts the least
+// recently used runs beyond a capacity, which is what lets a long-running
+// process — nobld in particular — keep one store for its whole lifetime.
 type TraceStore struct {
 	store *core.Store[AlgRun]
 }
 
-// NewTraceStore returns an empty store.
+// NewTraceStore returns an empty unbounded store.
 func NewTraceStore() *TraceStore {
-	return &TraceStore{store: core.NewStore[AlgRun]()}
+	return NewBoundedTraceStore(0)
+}
+
+// NewBoundedTraceStore returns an empty store retaining at most capacity
+// completed runs under LRU eviction (0 = unbounded).
+func NewBoundedTraceStore(capacity int) *TraceStore {
+	return &TraceStore{store: core.NewBoundedStore[AlgRun](capacity)}
 }
 
 // Get returns the memoized run of the named registry algorithm at size
-// n on the given engine, executing it on first use.
-func (ts *TraceStore) Get(eng core.Engine, name string, n int) (AlgRun, error) {
+// n on the given engine, executing it on first use.  ctx bounds that
+// execution; because cancellation errors would otherwise be memoized for
+// every later caller of the key, a run failing with ctx's error is
+// forgotten instead of cached.
+func (ts *TraceStore) Get(ctx context.Context, eng core.Engine, name string, n int) (AlgRun, error) {
+	return ts.get(ctx, eng, name, n, false)
+}
+
+// GetRecorded is Get for message-pair-recorded runs (the form the cache
+// simulator consumes).  Recorded and unrecorded runs of the same
+// algorithm are distinct store entries: their traces differ in payload,
+// and a consumer of a recorded trace must never receive the lighter one.
+func (ts *TraceStore) GetRecorded(ctx context.Context, eng core.Engine, name string, n int) (AlgRun, error) {
+	return ts.get(ctx, eng, name, n, true)
+}
+
+func (ts *TraceStore) get(ctx context.Context, eng core.Engine, name string, n int, record bool) (AlgRun, error) {
 	if eng == nil {
 		eng = core.DefaultEngine()
 	}
@@ -43,11 +70,40 @@ func (ts *TraceStore) Get(eng core.Engine, name string, n int) (AlgRun, error) {
 	if !ok {
 		return AlgRun{}, fmt.Errorf("harness: unknown algorithm %q", name)
 	}
-	key := core.TraceKey{Algorithm: name, N: n, Engine: eng.Name()}
-	return ts.store.Get(key.String(), func() (AlgRun, error) {
-		return alg.Run(eng, n)
+	key := core.TraceKey{Algorithm: name, N: n, Engine: eng.Name()}.String()
+	if record {
+		key += "+rec"
+	}
+	run, err := ts.store.Get(key, func() (AlgRun, error) {
+		return alg.Run(ctx, eng, n, record)
 	})
+	if IsCancellation(err) {
+		// The computation died of a cancelled context: that outcome
+		// belongs to whichever caller was cancelled, not to the key, so
+		// drop it and let the next live caller recompute.  ForgetIf (not
+		// Forget) so that when several waiters observe the same dead
+		// computation, a stale one can never evict the fresh entry a
+		// live caller has already started.  Genuine algorithm errors are
+		// unaffected and stay memoized.
+		ts.store.ForgetIf(key, func(_ AlgRun, err error) bool { return IsCancellation(err) })
+	}
+	return run, err
 }
 
-// Stats returns the cumulative hit/miss counters.
+// IsCancellation reports whether err is (or wraps) a context
+// cancellation or deadline — the class of errors that describe the
+// caller rather than the computation, and therefore must never be
+// memoized for a key.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Stats returns the cumulative hit/miss/eviction counters.
 func (ts *TraceStore) Stats() core.StoreStats { return ts.store.Stats() }
+
+// Store exposes the underlying keyed store, for consumers that report its
+// capacity and counters (the nobld metrics endpoint).
+func (ts *TraceStore) Store() *core.Store[AlgRun] { return ts.store }
+
+// Len returns the number of memoized runs (completed or in flight).
+func (ts *TraceStore) Len() int { return ts.store.Len() }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -83,11 +84,11 @@ func TestCoreStoreSingleFlight(t *testing.T) {
 // alias, and that the trace key renders its canonical form.
 func TestTraceStoreKeysByEngine(t *testing.T) {
 	store := NewTraceStore()
-	a, err := store.Get(core.GoroutineEngine{}, "broadcast-tree", 64)
+	a, err := store.Get(context.Background(), core.GoroutineEngine{}, "broadcast-tree", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := store.Get(core.BlockEngine{}, "broadcast-tree", 64)
+	b, err := store.Get(context.Background(), core.BlockEngine{}, "broadcast-tree", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestTraceStoreKeysByEngine(t *testing.T) {
 	if st := store.Stats(); st.Misses != 2 {
 		t.Errorf("misses = %d, want 2 (one per engine)", st.Misses)
 	}
-	if _, err := store.Get(nil, "no-such-alg", 8); err == nil {
+	if _, err := store.Get(context.Background(), nil, "no-such-alg", 8); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 	key := core.TraceKey{Algorithm: "fft", N: 256, Engine: "block"}

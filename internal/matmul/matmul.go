@@ -19,6 +19,7 @@
 package matmul
 
 import (
+	"context"
 	"fmt"
 
 	"netoblivious/internal/core"
@@ -68,11 +69,14 @@ type Options struct {
 	Record bool
 	// Engine selects the core execution engine; nil uses the default.
 	Engine core.Engine
+	// Ctx cancels the specification-model run at superstep granularity;
+	// nil disables cancellation.
+	Ctx context.Context
 }
 
 // runOpts translates Options into the core run options.
 func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
 }
 
 // Result carries the product and the communication trace of the run.

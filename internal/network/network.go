@@ -34,12 +34,17 @@ type Topology struct {
 func (t *Topology) Neighbors(u int) []int { return t.adj[u] }
 
 // Ring builds a p-node ring (the 1-D torus); its D-BSP counterpart is
-// dbsp.Mesh(1, p).
+// dbsp.Mesh(1, p).  p = 1 is the degenerate single-node network: no
+// links, every message local.
 func Ring(p int) *Topology {
-	if p < 2 || p&(p-1) != 0 {
-		panic(fmt.Sprintf("network: p=%d must be a power of two >= 2", p))
+	if p < 1 || p&(p-1) != 0 {
+		panic(fmt.Sprintf("network: p=%d must be a power of two >= 1", p))
 	}
 	t := &Topology{Name: fmt.Sprintf("ring(p=%d)", p), P: p, adj: make([][]int, p)}
+	if p == 1 {
+		t.adj[0] = []int{}
+		return t
+	}
 	for u := 0; u < p; u++ {
 		t.adj[u] = []int{(u + 1) % p, (u + p - 1) % p}
 	}

@@ -1,6 +1,7 @@
 package stencil
 
 import (
+	"context"
 	"fmt"
 
 	"netoblivious/internal/core"
@@ -17,11 +18,14 @@ type Options struct {
 	K int
 	// Engine selects the core execution engine; nil uses the default.
 	Engine core.Engine
+	// Ctx cancels the specification-model run at superstep granularity;
+	// nil disables cancellation.
+	Ctx context.Context
 }
 
 // runOpts translates Options into the core run options.
 func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine}
+	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
 }
 
 // Result carries the evaluated space-time grid and the trace.
