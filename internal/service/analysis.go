@@ -1,0 +1,560 @@
+// Package service implements nobld: a long-running HTTP service that
+// answers network-oblivious analysis queries.  One oblivious
+// specification on M(v) can be evaluated for any machine (p, σ) and
+// executed on any D-BSP(p, g, ℓ) — which makes the codebase a query
+// engine: "for this algorithm and input size, what does machine X cost,
+// and is it near-optimal?".
+//
+// The service splits queries into two classes:
+//
+//   - closed-form analyses (theory bounds, D-BSP preset vectors) are
+//     answered synchronously — they cost microseconds;
+//   - simulation-backed analyses (M(v) traces, D-BSP folding, ideal-cache
+//     miss counts, network-routing makespans) run through an asynchronous
+//     job subsystem: a priority queue feeding a bounded worker pool, with
+//     per-job cancellation and timeout, progress streamed over SSE, and a
+//     process-lifetime LRU result cache with single-flight dedup of
+//     identical requests.
+//
+// Responses reuse the schema-tagged harness.Document JSON as the wire
+// format, so `nobl -format json run` output, stored result files and
+// nobld responses are one format with one decoder.
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"netoblivious/internal/cachesim"
+	"netoblivious/internal/dbsp"
+	"netoblivious/internal/eval"
+	"netoblivious/internal/harness"
+	"netoblivious/internal/network"
+	"netoblivious/internal/theory"
+)
+
+// Kind names one analysis a Request can ask for.
+type Kind string
+
+const (
+	// KindBounds reports the closed-form lower and upper communication
+	// bounds of the algorithm on each M(p, σ) (synchronous).
+	KindBounds Kind = "bounds"
+	// KindMachines reports the D-BSP preset parameter vectors and their
+	// Theorem 3.4 admissibility for each requested p (synchronous).
+	KindMachines Kind = "machines"
+	// KindTrace executes the algorithm on M(v) and reports the measured
+	// metric set (H, α, γ, ...) on each M(p, σ) (asynchronous).
+	KindTrace Kind = "trace"
+	// KindDBSP folds the measured trace onto the network presets and
+	// reports the communication time D(n, p, g, ℓ) (asynchronous).
+	KindDBSP Kind = "dbsp"
+	// KindCache simulates the sequential execution of the trace under
+	// ideal caches IC(M, B) and reports the miss curve (asynchronous).
+	KindCache Kind = "cache"
+	// KindNetwork routes cluster-confined h-relations on simulated
+	// point-to-point networks and compares the makespan against the
+	// D-BSP prediction (asynchronous; algorithm-independent).
+	KindNetwork Kind = "network"
+)
+
+// Kinds lists every analysis kind, synchronous first.
+func Kinds() []Kind {
+	return []Kind{KindBounds, KindMachines, KindTrace, KindDBSP, KindCache, KindNetwork}
+}
+
+// Sync reports whether the kind is answered inline (closed-form) rather
+// than through the job subsystem.
+func (k Kind) Sync() bool { return k == KindBounds || k == KindMachines }
+
+// MachineSpec selects one evaluation machine M(p, σ).
+type MachineSpec struct {
+	P     int     `json:"p"`
+	Sigma float64 `json:"sigma"`
+}
+
+// RequestSchema tags the analyze request JSON; bump on breaking changes.
+const RequestSchema = "nobld/analyze/v1"
+
+// Request is one analysis query.
+type Request struct {
+	// Algorithm is a registry name (see GET /v1/algorithms).  Required
+	// for every kind except "machines" and "network".
+	Algorithm string `json:"algorithm,omitempty"`
+	// N is the input size.  Required whenever Algorithm is.
+	N int `json:"n,omitempty"`
+	// Kind selects the analysis; default "trace".
+	Kind Kind `json:"kind,omitempty"`
+	// Machines lists the evaluation machines M(p, σ).  Empty means a
+	// default sweep: powers of two up to min(v, 64) at σ ∈ {0, 16}
+	// (for "machines"/"network"/"dbsp", the largest p of the sweep).
+	Machines []MachineSpec `json:"machines,omitempty"`
+	// Priority orders queued jobs: higher runs first (FIFO within a
+	// priority).  Synchronous kinds ignore it.
+	Priority int `json:"priority,omitempty"`
+	// Wait makes POST /v1/analyze block until an asynchronous analysis
+	// completes, returning the document instead of a job reference.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// normalize fills defaults and validates what can be validated without
+// running anything.
+func (r *Request) normalize() error {
+	if r.Kind == "" {
+		r.Kind = KindTrace
+	}
+	valid := false
+	for _, k := range Kinds() {
+		if r.Kind == k {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("unknown kind %q (have %v)", r.Kind, Kinds())
+	}
+	needsAlg := r.Kind != KindMachines && r.Kind != KindNetwork
+	if needsAlg {
+		if r.Algorithm == "" {
+			return fmt.Errorf("kind %q needs an algorithm (see /v1/algorithms)", r.Kind)
+		}
+		if _, ok := harness.TraceAlgorithmByName(r.Algorithm); !ok {
+			return fmt.Errorf("unknown algorithm %q (see /v1/algorithms)", r.Algorithm)
+		}
+		if r.N < 2 {
+			return fmt.Errorf("kind %q needs n >= 2", r.Kind)
+		}
+	}
+	for _, m := range r.Machines {
+		if m.P < 2 || m.P&(m.P-1) != 0 {
+			return fmt.Errorf("machine p=%d must be a power of two >= 2", m.P)
+		}
+		if m.Sigma < 0 || math.IsNaN(m.Sigma) || math.IsInf(m.Sigma, 0) {
+			return fmt.Errorf("machine sigma=%v must be finite and nonnegative", m.Sigma)
+		}
+	}
+	return nil
+}
+
+// Key is the canonical cache/dedup key of the request: every field that
+// changes the answer, and nothing else (Priority and Wait are delivery
+// concerns).  The engine is included by the caller (Server.requestKey)
+// since it is server configuration, not request data.
+func (r Request) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s/%s/n=%d", r.Kind, r.Algorithm, r.N)
+	for _, m := range r.Machines {
+		fmt.Fprintf(&sb, "/p=%d,s=%g", m.P, m.Sigma)
+	}
+	return sb.String()
+}
+
+// machines resolves the request's machine list against the specification
+// width v (0 = unbounded, for kinds that do not run a trace).  An
+// explicit list is only filtered; use machinesWithin when the caller
+// must surface dropped entries instead of silently shrinking the grid.
+func (r Request) machines(v int) []MachineSpec {
+	kept, _, err := r.machinesWithin(v)
+	if err != nil {
+		return nil
+	}
+	return kept
+}
+
+// machinesWithin splits the request's machine list into the machines
+// that fit the specification width v and those that do not (p > v).  An
+// explicit list with no fitting machine is an error — answering with
+// machines the client never asked for would be worse than refusing.
+// With no explicit list it returns the default sweep: powers of two up
+// to min(v, 64) at σ ∈ {0, 16}.
+func (r Request) machinesWithin(v int) (kept, dropped []MachineSpec, err error) {
+	if len(r.Machines) > 0 {
+		for _, m := range r.Machines {
+			if v == 0 || m.P <= v {
+				kept = append(kept, m)
+			} else {
+				dropped = append(dropped, m)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, nil, fmt.Errorf("no requested machine fits the specification: every p exceeds v=%d", v)
+		}
+		return kept, dropped, nil
+	}
+	maxP := 64
+	if v > 0 && v < maxP {
+		maxP = v
+	}
+	for _, sigma := range []float64{0, 16} {
+		for p := 2; p <= maxP; p *= 2 {
+			kept = append(kept, MachineSpec{P: p, Sigma: sigma})
+		}
+	}
+	return kept, nil, nil
+}
+
+// droppedNote renders the machines a trace-bounded analysis had to skip.
+func droppedNote(dropped []MachineSpec, v int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "skipped machines exceeding the specification width v=%d:", v)
+	for _, m := range dropped {
+		fmt.Fprintf(&sb, " p=%d", m.P)
+	}
+	return sb.String()
+}
+
+// maxMachineP returns the largest p of the resolved machine list.
+func (r Request) maxMachineP(v int) int {
+	p := 2
+	for _, m := range r.machines(v) {
+		if m.P > p {
+			p = m.P
+		}
+	}
+	return p
+}
+
+// progressFunc receives coarse progress stages of a running analysis.
+type progressFunc func(stage, detail string)
+
+func (p progressFunc) emit(stage, detail string) {
+	if p != nil {
+		p(stage, detail)
+	}
+}
+
+// runAnalysis computes the document for one request.  It is the single
+// entry point the synchronous path and the job workers share; ctx bounds
+// every simulation it triggers.
+func (s *Server) runAnalysis(ctx context.Context, req Request, progress progressFunc) (*harness.Document, error) {
+	var results []*harness.Result
+	var err error
+	switch req.Kind {
+	case KindBounds:
+		results, err = s.analyzeBounds(req)
+	case KindMachines:
+		results, err = analyzeMachines(req)
+	case KindTrace:
+		results, err = s.analyzeTrace(ctx, req, progress)
+	case KindDBSP:
+		results, err = s.analyzeDBSP(ctx, req, progress)
+	case KindCache:
+		results, err = s.analyzeCache(ctx, req, progress)
+	case KindNetwork:
+		results, err = analyzeNetwork(ctx, req, progress)
+	default:
+		err = fmt.Errorf("unknown kind %q", req.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	doc := &harness.Document{
+		Schema: harness.DocumentSchema,
+		Engine: s.engine.Name(),
+		Records: []harness.Record{{
+			ID:      string(req.Kind),
+			Title:   recordTitle(req),
+			Results: results,
+		}},
+	}
+	return doc, nil
+}
+
+func recordTitle(req Request) string {
+	switch req.Kind {
+	case KindMachines:
+		return "D-BSP preset parameter vectors"
+	case KindNetwork:
+		return "network routing vs D-BSP prediction"
+	default:
+		return fmt.Sprintf("%s analysis of %s at n=%d", req.Kind, req.Algorithm, req.N)
+	}
+}
+
+// boundsFor maps a registry algorithm to its closed-form (lower,
+// predicted) communication bounds on M(p, σ).  The bool result reports
+// whether the paper provides closed forms for the algorithm.
+func boundsFor(alg string, n float64, p int, sigma float64) (lower, predicted float64, ok bool) {
+	switch alg {
+	case "matmul":
+		return theory.LowerBoundMM(n, p, sigma), theory.PredictedMM(n, p, sigma), true
+	case "matmul-space":
+		return theory.LowerBoundMMSpace(n, p, sigma), theory.PredictedMMSpace(n, p, sigma), true
+	case "fft":
+		return theory.LowerBoundFFT(n, p, sigma), theory.PredictedFFT(n, p, sigma), true
+	case "fft-iterative":
+		return theory.LowerBoundFFT(n, p, sigma), theory.PredictedIterativeFFT(n, p, sigma), true
+	case "sort":
+		return theory.LowerBoundSort(n, p, sigma), theory.PredictedSort(n, p, sigma), true
+	case "bitonic":
+		return theory.LowerBoundSort(n, p, sigma), theory.PredictedBitonic(n, p, sigma), true
+	case "stencil1":
+		return theory.LowerBoundStencil(n, 1, p, sigma), theory.PredictedStencil1(n, p, sigma), true
+	case "stencil2":
+		return theory.LowerBoundStencil(n, 2, p, sigma), theory.PredictedStencil2(n, p, sigma), true
+	case "broadcast-tree":
+		return theory.LowerBoundBroadcast(p, sigma), theory.PredictedBroadcastAware(p, sigma), true
+	default:
+		return 0, 0, false
+	}
+}
+
+// analyzeBounds builds the closed-form bound table.
+func (s *Server) analyzeBounds(req Request) ([]*harness.Result, error) {
+	res := &harness.Result{
+		ID:       string(KindBounds),
+		Title:    fmt.Sprintf("closed-form bounds for %s at n=%d", req.Algorithm, req.N),
+		PaperRef: "§4 lower bounds and theorems",
+		Columns:  []string{"p", "sigma", "lower H", "predicted H", "pred/lower"},
+	}
+	n := float64(req.N)
+	worst := 0.0
+	for _, m := range req.machines(0) {
+		lower, pred, ok := boundsFor(req.Algorithm, n, m.P, m.Sigma)
+		if !ok {
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("no closed-form bounds for %q; run a trace analysis instead", req.Algorithm))
+			return []*harness.Result{res}, nil
+		}
+		ratio := math.Inf(1)
+		if lower > 0 {
+			ratio = pred / lower
+		}
+		if ratio > worst && !math.IsInf(ratio, 0) {
+			worst = ratio
+		}
+		res.AddRow(m.P, m.Sigma, lower, pred, ratio)
+	}
+	res.AddCheck("predicted within polylog of lower bound", true,
+		"worst predicted/lower ratio %.2f over %d machines (unit constants)", worst, len(res.Rows))
+	return []*harness.Result{res}, nil
+}
+
+// analyzeMachines builds the preset parameter-vector table for each
+// distinct requested p.
+func analyzeMachines(req Request) ([]*harness.Result, error) {
+	seen := map[int]bool{}
+	var ps []int
+	for _, m := range req.machines(0) {
+		if !seen[m.P] {
+			seen[m.P] = true
+			ps = append(ps, m.P)
+		}
+	}
+	sort.Ints(ps)
+	// Largest machine only for the default sweep: the per-level vectors
+	// of nested p's repeat as suffixes.
+	if len(req.Machines) == 0 && len(ps) > 0 {
+		ps = ps[len(ps)-1:]
+	}
+	var out []*harness.Result
+	for _, p := range ps {
+		out = append(out, harness.PresetsResult(p))
+	}
+	return out, nil
+}
+
+// algRun pulls the request's specification run from the shared trace
+// cache (recorded form only when the analysis needs message pairs).
+func (s *Server) algRun(ctx context.Context, req Request, recorded bool) (harness.AlgRun, error) {
+	if recorded {
+		return s.traces.GetRecorded(ctx, s.engine, req.Algorithm, req.N)
+	}
+	return s.traces.Get(ctx, s.engine, req.Algorithm, req.N)
+}
+
+// analyzeTrace runs the algorithm and measures every requested machine.
+func (s *Server) analyzeTrace(ctx context.Context, req Request, progress progressFunc) ([]*harness.Result, error) {
+	progress.emit("tracing", fmt.Sprintf("%s n=%d on %s", req.Algorithm, req.N, s.engine.Name()))
+	run, err := s.algRun(ctx, req, false)
+	if err != nil {
+		return nil, err
+	}
+	tr := run.Trace
+	machines, dropped, err := req.machinesWithin(tr.V)
+	if err != nil {
+		return nil, err
+	}
+	progress.emit("measuring", fmt.Sprintf("v=%d, %d supersteps, %d messages", tr.V, tr.NumSupersteps(), tr.TotalMessages()))
+	res := &harness.Result{
+		ID:       string(KindTrace),
+		Title:    fmt.Sprintf("measured metrics of %s at n=%d (v=%d)", req.Algorithm, req.N, tr.V),
+		PaperRef: "Eq. 1; Def. 3.2; Def. 5.2",
+		Columns:  []string{"p", "sigma", "H(n,p,sigma)", "msg load", "supersteps", "alpha", "gamma"},
+	}
+	folding := true
+	for _, m := range machines {
+		pt := eval.Measure(tr, m.P, m.Sigma)
+		res.AddRow(pt.P, pt.Sigma, pt.H, pt.MessageLoad, pt.Supersteps, pt.Alpha, pt.Gamma)
+		if err := eval.CheckFoldingLemma(tr, m.P); err != nil {
+			folding = false
+		}
+	}
+	res.AddCheck("folding inequality (Lemma 3.1)", folding,
+		"H never shrinks under coarser folding across %d machines", len(res.Rows))
+	if len(dropped) > 0 {
+		res.Notes = append(res.Notes, droppedNote(dropped, tr.V))
+	}
+	if run.PeakEntries > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf("peak per-VP matrix entries: %d", run.PeakEntries))
+	}
+	return []*harness.Result{res}, nil
+}
+
+// analyzeDBSP folds the measured trace on the network presets.
+func (s *Server) analyzeDBSP(ctx context.Context, req Request, progress progressFunc) ([]*harness.Result, error) {
+	progress.emit("tracing", fmt.Sprintf("%s n=%d on %s", req.Algorithm, req.N, s.engine.Name()))
+	run, err := s.algRun(ctx, req, false)
+	if err != nil {
+		return nil, err
+	}
+	tr := run.Trace
+	machines, dropped, err := req.machinesWithin(tr.V)
+	if err != nil {
+		return nil, err
+	}
+	p := 2
+	for _, m := range machines {
+		if m.P > p {
+			p = m.P
+		}
+	}
+	progress.emit("folding", fmt.Sprintf("onto D-BSP presets at p=%d", p))
+	res := &harness.Result{
+		ID:       string(KindDBSP),
+		Title:    fmt.Sprintf("communication time of %s at n=%d on D-BSP presets (p=%d)", req.Algorithm, req.N, p),
+		PaperRef: "Eq. 2; §2 presets",
+		Columns:  []string{"network", "p", "D(n,p,g,l)", "admissible"},
+	}
+	for _, pr := range dbsp.Presets(p) {
+		adm := "yes"
+		if pr.Admissible() != nil {
+			adm = "no"
+		}
+		res.AddRow(pr.Name, pr.P, dbsp.CommTime(tr, pr), adm)
+	}
+	res.AddCheck("folded on every preset", true, "%d networks at p=%d", len(res.Rows), p)
+	if len(dropped) > 0 {
+		res.Notes = append(res.Notes, droppedNote(dropped, tr.V))
+	}
+	return []*harness.Result{res}, nil
+}
+
+// cacheSweepSizes are the IC(M, B) capacities (words) of the miss curve.
+var cacheSweepSizes = []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16}
+
+// analyzeCache simulates the folded-to-one-processor execution under
+// ideal caches (the Section 6 conjecture's measurable content).
+func (s *Server) analyzeCache(ctx context.Context, req Request, progress progressFunc) ([]*harness.Result, error) {
+	progress.emit("tracing", fmt.Sprintf("%s n=%d (recorded) on %s", req.Algorithm, req.N, s.engine.Name()))
+	run, err := s.algRun(ctx, req, true)
+	if err != nil {
+		return nil, err
+	}
+	tr := run.Trace
+	const ctxWords, bWords = 8, 8
+	res := &harness.Result{
+		ID:       string(KindCache),
+		Title:    fmt.Sprintf("ideal-cache miss curve of %s at n=%d", req.Algorithm, req.N),
+		PaperRef: "§6 conjecture; Pietracaprina et al. 2006",
+		Columns:  []string{"M (words)", "B (words)", "misses", "miss rate"},
+	}
+	monotone := true
+	var prevMisses int64
+	for i, m := range cacheSweepSizes {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cache analysis cancelled: %w", err)
+		}
+		progress.emit("simulating", fmt.Sprintf("IC(%d,%d), size %d/%d", m, bWords, i+1, len(cacheSweepSizes)))
+		c, err := cachesim.New(m, bWords)
+		if err != nil {
+			return nil, err
+		}
+		st, err := cachesim.SimulateTrace(tr, ctxWords, c)
+		if err != nil {
+			return nil, err
+		}
+		rate := 0.0
+		if st.Accesses > 0 {
+			rate = float64(st.Misses) / float64(st.Accesses)
+		}
+		res.AddRow(m, bWords, st.Misses, rate)
+		if i > 0 && st.Misses > prevMisses {
+			monotone = false
+		}
+		prevMisses = st.Misses
+	}
+	res.AddCheck("misses nonincreasing in M", monotone,
+		"LRU inclusion property over %d cache sizes", len(cacheSweepSizes))
+	return []*harness.Result{res}, nil
+}
+
+// networkLevels picks the routed cluster levels for a p-processor
+// machine: the whole machine, a mid hierarchy level, and the deepest
+// (m=1, all-local) level.
+func networkLevels(p int) []int {
+	lp := 0
+	for q := p; q > 1; q /= 2 {
+		lp++
+	}
+	levels := []int{0}
+	if lp >= 2 {
+		levels = append(levels, lp/2)
+	}
+	levels = append(levels, lp)
+	return levels
+}
+
+// analyzeNetwork routes cluster h-relations on the simulated networks
+// and compares the measured makespan against h·g_i + ℓ_i.
+func analyzeNetwork(ctx context.Context, req Request, progress progressFunc) ([]*harness.Result, error) {
+	p := req.maxMachineP(0)
+	type pairing struct {
+		topo *network.Topology
+		pr   dbsp.Params
+	}
+	pairings := []pairing{
+		{network.Ring(p), dbsp.Mesh(1, p)},
+		{network.Hypercube(p), dbsp.Hypercube(p)},
+	}
+	if q := int(math.Round(math.Sqrt(float64(p)))); q*q == p {
+		pairings = append(pairings, pairing{network.Torus2D(p), dbsp.Mesh(2, p)})
+	}
+	res := &harness.Result{
+		ID:       string(KindNetwork),
+		Title:    fmt.Sprintf("routing vs D-BSP prediction at p=%d", p),
+		PaperRef: "E14; Euro-Par 1999",
+		Columns:  []string{"network", "level", "h", "makespan", "predicted", "ratio"},
+	}
+	rng := rand.New(rand.NewSource(7))
+	inBand := true
+	for _, c := range pairings {
+		progress.emit("routing", c.topo.Name)
+		sim := network.NewSim(c.topo)
+		for _, level := range networkLevels(p) {
+			for _, h := range []int{1, 4, 16} {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("network analysis cancelled: %w", err)
+				}
+				msgs := network.ClusterHRelation(rng, p, level, h)
+				rr := sim.Route(msgs)
+				pred, ratio := 0.0, 0.0
+				if level < len(c.pr.G) {
+					pred = float64(h)*c.pr.G[level] + c.pr.L[level]
+					ratio = float64(rr.Makespan) / pred
+					if ratio > 3 {
+						inBand = false
+					}
+				}
+				res.AddRow(c.topo.Name, level, h, rr.Makespan, pred, ratio)
+			}
+		}
+	}
+	res.AddCheck("makespan within constant band of h*g_i + l_i", inBand,
+		"%d routed patterns across %d networks", len(res.Rows), len(pairings))
+	res.Notes = append(res.Notes, "level = log2 p rows are all-local (m=1 clusters): makespan 0, no D-BSP term")
+	return []*harness.Result{res}, nil
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a typed HTTP client for a nobld daemon, used by the
+// `nobl remote` mode and the examples/service-client demo.  The zero
+// HTTPClient means http.DefaultClient.
+type Client struct {
+	// BaseURL is the daemon address, e.g. "http://127.0.0.1:7413".
+	BaseURL string
+	// HTTPClient overrides the transport (httptest servers, timeouts).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// doJSON performs one request and decodes the JSON response into out.
+// Non-2xx responses are surfaced as errors carrying the server's error
+// message.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("service client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("service client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("service client: reading %s: %w", path, err)
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr apiError
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		// Analyze endpoints carry failures inside the Response body.
+		var r Response
+		if json.Unmarshal(data, &r) == nil && r.Error != "" {
+			return fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, r.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("service client: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// Health checks the daemon's liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Algorithms lists the daemon's algorithm registry and analysis kinds.
+func (c *Client) Algorithms(ctx context.Context) (AlgorithmsResponse, error) {
+	var out AlgorithmsResponse
+	err := c.doJSON(ctx, http.MethodGet, "/v1/algorithms", nil, &out)
+	return out, err
+}
+
+// Analyze submits one analysis request.  With req.Wait set, the call
+// blocks until the document is ready; otherwise asynchronous kinds
+// return a job reference in Response.JobID.
+func (c *Client) Analyze(ctx context.Context, req Request) (Response, error) {
+	var out Response
+	err := c.doJSON(ctx, http.MethodPost, "/v1/analyze", req, &out)
+	return out, err
+}
+
+// AnalyzeBatch submits several requests in one call.
+func (c *Client) AnalyzeBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	var out BatchResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/analyze/batch", BatchRequest{Requests: reqs}, &out); err != nil {
+		return nil, err
+	}
+	return out.Responses, nil
+}
+
+// Job fetches a job's status, event log and (when terminal) response.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var out JobInfo
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// CancelJob cancels a queued or running job.
+func (c *Client) CancelJob(ctx context.Context, id string) (JobInfo, error) {
+	var out JobInfo
+	err := c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Metrics fetches the JSON metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	err := c.doJSON(ctx, http.MethodGet, "/metrics?format=json", nil, &out)
+	return out, err
+}
+
+// StreamEvents follows a job's SSE progress stream, invoking fn for each
+// event until the stream ends (job terminal, context cancelled, or
+// server shutdown).  fn may be nil to just drain.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("service client: events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service client: events: HTTP %d", resp.StatusCode)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			continue // terminal "done" frames carry a bare status string
+		}
+		if fn != nil && ev.Stage != "" {
+			fn(ev)
+		}
+	}
+	return scanner.Err()
+}
+
+// WaitJob follows the job's event stream until it is terminal, then
+// returns the job's final state.  It degrades to polling if the stream
+// breaks before the terminal status lands.
+func (c *Client) WaitJob(ctx context.Context, id string, fn func(Event)) (JobInfo, error) {
+	_ = c.StreamEvents(ctx, id, fn) // stream errors fall through to polling
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return JobInfo{}, err
+		}
+		if info.Status.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

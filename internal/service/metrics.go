@@ -1,0 +1,235 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netoblivious/internal/core"
+)
+
+// latencyBuckets are the upper bounds (milliseconds) of the per-algorithm
+// latency histograms: powers of four from 1 ms to ~4.4 min, plus +Inf.
+// Analysis latencies span closed-form microseconds to multi-second
+// simulation runs, so a geometric ladder keeps every regime resolvable
+// with few buckets.
+var latencyBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	mu      sync.Mutex
+	buckets []int64 // count per latencyBuckets entry; overflow in count-sum
+	count   int64
+	sumMs   float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]int64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d.Microseconds()) / 1e3
+	h.mu.Lock()
+	h.count++
+	h.sumMs += ms
+	for i, ub := range latencyBuckets {
+		if ms <= ub {
+			h.buckets[i]++
+			break
+		}
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the JSON form of one latency histogram:
+// cumulative bucket counts keyed by upper bound, plus count and sum.
+type HistogramSnapshot struct {
+	// Buckets maps the bucket upper bound (ms, formatted) to the
+	// cumulative count of observations at or below it.
+	Buckets map[string]int64 `json:"buckets"`
+	Count   int64            `json:"count"`
+	SumMs   float64          `json:"sum_ms"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{Buckets: make(map[string]int64, len(latencyBuckets)), Count: h.count, SumMs: h.sumMs}
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += h.buckets[i]
+		snap.Buckets[fmt.Sprintf("%g", ub)] = cum
+	}
+	return snap
+}
+
+// metrics aggregates the service's operational counters.  Request
+// counters and job gauges are atomics; the cache counters are read
+// straight from the two stores so they can never drift from the caches
+// they describe.
+type metrics struct {
+	requests sync.Map // endpoint (string) -> *atomic.Int64
+
+	jobsRunning   atomic.Int64 // gauge: jobs being executed by workers
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	jobsRejected  atomic.Int64 // queue-full rejections
+
+	latency sync.Map // algorithm (string) -> *histogram
+}
+
+func (m *metrics) countRequest(endpoint string) {
+	c, _ := m.requests.LoadOrStore(endpoint, new(atomic.Int64))
+	c.(*atomic.Int64).Add(1)
+}
+
+func (m *metrics) observeLatency(algorithm string, d time.Duration) {
+	if algorithm == "" {
+		algorithm = "none"
+	}
+	h, ok := m.latency.Load(algorithm)
+	if !ok {
+		h, _ = m.latency.LoadOrStore(algorithm, newHistogram())
+	}
+	h.(*histogram).observe(d)
+}
+
+// CacheStats is the snapshot of one store's counters plus its hit rate.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+}
+
+func cacheStats[V any](s *core.Store[V]) CacheStats {
+	st := s.Stats()
+	return CacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		HitRate:   st.HitRate(),
+		Entries:   s.Len(),
+		Capacity:  s.Capacity(),
+	}
+}
+
+// MetricsSnapshot is the machine-readable /metrics?format=json payload.
+type MetricsSnapshot struct {
+	Schema     string                       `json:"schema"`
+	Requests   map[string]int64             `json:"requests"`
+	Results    CacheStats                   `json:"result_cache"`
+	Traces     CacheStats                   `json:"trace_cache"`
+	QueueDepth int64                        `json:"queue_depth"`
+	Jobs       JobCounters                  `json:"jobs"`
+	Latency    map[string]HistogramSnapshot `json:"latency_ms"`
+}
+
+// JobCounters summarizes the job subsystem.
+type JobCounters struct {
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Rejected  int64 `json:"rejected"`
+}
+
+// MetricsSchema tags the JSON metrics snapshot.
+const MetricsSchema = "nobld/metrics/v1"
+
+func (s *Server) metricsSnapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Schema:     MetricsSchema,
+		Requests:   map[string]int64{},
+		Results:    cacheStats(s.results),
+		Traces:     cacheStats(s.traces.Store()),
+		QueueDepth: int64(s.sched.depth()),
+		Jobs: JobCounters{
+			Running:   s.metrics.jobsRunning.Load(),
+			Done:      s.metrics.jobsDone.Load(),
+			Failed:    s.metrics.jobsFailed.Load(),
+			Cancelled: s.metrics.jobsCancelled.Load(),
+			Rejected:  s.metrics.jobsRejected.Load(),
+		},
+		Latency: map[string]HistogramSnapshot{},
+	}
+	s.metrics.requests.Range(func(k, v any) bool {
+		snap.Requests[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	s.metrics.latency.Range(func(k, v any) bool {
+		snap.Latency[k.(string)] = v.(*histogram).snapshot()
+		return true
+	})
+	return snap
+}
+
+// handleMetrics renders the counters: Prometheus-style text by default,
+// the MetricsSnapshot JSON with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metricsSnapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var sb strings.Builder
+	writeGauge := func(name string, v int64) {
+		fmt.Fprintf(&sb, "%s %d\n", name, v)
+	}
+	endpoints := make([]string, 0, len(snap.Requests))
+	for ep := range snap.Requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		fmt.Fprintf(&sb, "nobld_requests_total{endpoint=%q} %d\n", ep, snap.Requests[ep])
+	}
+	writeCache := func(prefix string, cs CacheStats) {
+		writeGauge(prefix+"_hits_total", cs.Hits)
+		writeGauge(prefix+"_misses_total", cs.Misses)
+		writeGauge(prefix+"_evictions_total", cs.Evictions)
+		fmt.Fprintf(&sb, "%s_hit_rate %g\n", prefix, cs.HitRate)
+		writeGauge(prefix+"_entries", int64(cs.Entries))
+	}
+	writeCache("nobld_cache", snap.Results)
+	writeCache("nobld_trace_cache", snap.Traces)
+	writeGauge("nobld_queue_depth", snap.QueueDepth)
+	writeGauge("nobld_jobs_running", snap.Jobs.Running)
+	writeGauge("nobld_jobs_done_total", snap.Jobs.Done)
+	writeGauge("nobld_jobs_failed_total", snap.Jobs.Failed)
+	writeGauge("nobld_jobs_cancelled_total", snap.Jobs.Cancelled)
+	writeGauge("nobld_jobs_rejected_total", snap.Jobs.Rejected)
+	algs := make([]string, 0, len(snap.Latency))
+	for a := range snap.Latency {
+		algs = append(algs, a)
+	}
+	sort.Strings(algs)
+	for _, a := range algs {
+		h := snap.Latency[a]
+		bounds := make([]string, 0, len(h.Buckets))
+		for b := range h.Buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Slice(bounds, func(i, j int) bool {
+			var x, y float64
+			fmt.Sscan(bounds[i], &x)
+			fmt.Sscan(bounds[j], &y)
+			return x < y
+		})
+		for _, b := range bounds {
+			fmt.Fprintf(&sb, "nobld_latency_ms_bucket{algorithm=%q,le=%q} %d\n", a, b, h.Buckets[b])
+		}
+		fmt.Fprintf(&sb, "nobld_latency_ms_bucket{algorithm=%q,le=\"+Inf\"} %d\n", a, h.Count)
+		fmt.Fprintf(&sb, "nobld_latency_ms_sum{algorithm=%q} %g\n", a, h.SumMs)
+		fmt.Fprintf(&sb, "nobld_latency_ms_count{algorithm=%q} %d\n", a, h.Count)
+	}
+	_, _ = w.Write([]byte(sb.String()))
+}

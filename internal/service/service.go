@@ -1,0 +1,439 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"netoblivious/internal/core"
+	"netoblivious/internal/harness"
+)
+
+// Config tunes a Server.  The zero value is usable: every field has a
+// production-sane default.
+type Config struct {
+	// Workers is the job worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueLimit bounds the number of queued (not yet running) jobs;
+	// enqueues beyond it are rejected with 503.  0 means 1024.
+	QueueLimit int
+	// CacheEntries is the LRU capacity of the result cache (completed
+	// analysis documents); 0 means 512, negative means unbounded.
+	CacheEntries int
+	// TraceEntries is the LRU capacity of the trace cache (memoized
+	// specification runs — the memory-heavy store); 0 means 64, negative
+	// means unbounded.
+	TraceEntries int
+	// JobTimeout bounds each job's execution; 0 means 2 minutes.
+	JobTimeout time.Duration
+	// Engine is the execution engine for every specification run; nil
+	// means core.DefaultEngine().
+	Engine core.Engine
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 1024
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	} else if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // unbounded
+	}
+	if c.TraceEntries == 0 {
+		c.TraceEntries = 64
+	} else if c.TraceEntries < 0 {
+		c.TraceEntries = 0
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.Engine == nil {
+		c.Engine = core.DefaultEngine()
+	}
+	return c
+}
+
+// ResponseSchema tags analyze responses; bump on breaking changes.
+const ResponseSchema = "nobld/response/v1"
+
+// Response is the outcome of one analyze request.
+type Response struct {
+	Schema string `json:"schema"`
+	// Status is "done", "queued", "running", "failed" or "cancelled".
+	Status string `json:"status"`
+	// Cached reports that the document was served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// JobID references the asynchronous job computing the document, when
+	// the request did not wait for it.
+	JobID string `json:"job,omitempty"`
+	// Document carries the analysis results (the PR 2 wire format).
+	Document *harness.Document `json:"document,omitempty"`
+	// Error is the failure message of a failed analysis.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchRequest is the POST /v1/analyze/batch payload.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchResponse pairs each batch entry with its response, in order.
+type BatchResponse struct {
+	Schema    string     `json:"schema"`
+	Responses []Response `json:"responses"`
+}
+
+// JobInfo is the GET /v1/jobs/{id} payload.
+type JobInfo struct {
+	ID      string    `json:"id"`
+	Status  JobStatus `json:"status"`
+	Request Request   `json:"request"`
+	Events  []Event   `json:"events"`
+	// Response is present once the job is terminal.
+	Response *Response `json:"response,omitempty"`
+}
+
+// AlgorithmInfo is one GET /v1/algorithms entry.
+type AlgorithmInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// AlgorithmsResponse is the GET /v1/algorithms payload.
+type AlgorithmsResponse struct {
+	Schema     string          `json:"schema"`
+	Engine     string          `json:"engine"`
+	Algorithms []AlgorithmInfo `json:"algorithms"`
+	Kinds      []Kind          `json:"kinds"`
+}
+
+// Server is the nobld analysis service: HTTP handlers over a priority
+// job scheduler, a bounded worker pool, and two process-lifetime LRU
+// caches (analysis documents and specification traces), both
+// single-flight.
+type Server struct {
+	cfg     Config
+	engine  core.Engine
+	results *core.Store[*harness.Document]
+	traces  *harness.TraceStore
+	sched   *scheduler
+	metrics metrics
+	mux     *http.ServeMux
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.  Callers must Close it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		engine:  cfg.Engine,
+		results: core.NewBoundedStore[*harness.Document](cfg.CacheEntries),
+		traces:  harness.NewBoundedTraceStore(cfg.TraceEntries),
+		sched:   newScheduler(cfg.QueueLimit),
+		mux:     http.NewServeMux(),
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool and cancels every running job.  In-flight
+// HTTP requests observe cancelled jobs rather than hanging.
+func (s *Server) Close() {
+	s.sched.close()
+	s.stop()
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP handler of the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// requestKey namespaces the request's semantic key by the engine, since
+// the engine is part of what was executed.
+func (s *Server) requestKey(req Request) string {
+	return req.Key() + "@" + s.engine.Name()
+}
+
+// apiError is the JSON error body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "engine": s.engine.Name()})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	s.metrics.countRequest("algorithms")
+	resp := AlgorithmsResponse{
+		Schema: "nobld/algorithms/v1",
+		Engine: s.engine.Name(),
+		Kinds:  Kinds(),
+	}
+	for _, a := range harness.TraceAlgorithms() {
+		resp.Algorithms = append(resp.Algorithms, AlgorithmInfo{Name: a.Name, Doc: a.Doc})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.metrics.countRequest("analyze")
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	resp, status := s.analyze(r.Context(), req)
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.countRequest("batch")
+	var batch BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "batch carries no requests")
+		return
+	}
+	out := BatchResponse{Schema: "nobld/batch/v1", Responses: make([]Response, len(batch.Requests))}
+	// Two passes: enqueue every async miss first so the batch's jobs run
+	// concurrently across the worker pool, then wait for the waiters.
+	type pending struct {
+		idx int
+		j   *job
+	}
+	var waits []pending
+	for i, req := range batch.Requests {
+		resp, _ := s.analyzeStart(r.Context(), &req)
+		if resp != nil {
+			out.Responses[i] = *resp
+			continue
+		}
+		j, resp2 := s.startJob(req)
+		if j == nil {
+			out.Responses[i] = *resp2
+			continue
+		}
+		if req.Wait {
+			waits = append(waits, pending{idx: i, j: j})
+		} else {
+			out.Responses[i] = Response{Schema: ResponseSchema, Status: string(jobStatus(j)), JobID: j.id}
+		}
+	}
+	for _, p := range waits {
+		out.Responses[p.idx] = s.awaitJob(r.Context(), p.j)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// analyze serves one request and returns its response plus HTTP status.
+func (s *Server) analyze(ctx context.Context, req Request) (Response, int) {
+	if resp, status := s.analyzeStart(ctx, &req); resp != nil {
+		return *resp, status
+	}
+	j, resp := s.startJob(req)
+	if j == nil {
+		return *resp, http.StatusServiceUnavailable
+	}
+	if req.Wait {
+		return s.awaitJob(ctx, j), http.StatusOK
+	}
+	return Response{Schema: ResponseSchema, Status: string(jobStatus(j)), JobID: j.id}, http.StatusAccepted
+}
+
+// analyzeStart handles validation, synchronous kinds and cache hits; a
+// nil response means the caller must start (or join) a job.
+func (s *Server) analyzeStart(ctx context.Context, req *Request) (*Response, int) {
+	if err := req.normalize(); err != nil {
+		return &Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: err.Error()}, http.StatusBadRequest
+	}
+	if req.Kind.Sync() {
+		start := time.Now()
+		doc, err := s.runAnalysis(ctx, *req, nil)
+		s.metrics.observeLatency(req.Algorithm, time.Since(start))
+		if err != nil {
+			return &Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: err.Error()}, http.StatusInternalServerError
+		}
+		return &Response{Schema: ResponseSchema, Status: string(StatusDone), Document: doc}, http.StatusOK
+	}
+	if doc, err, ok := s.results.Peek(s.requestKey(*req)); ok {
+		if err != nil {
+			return &Response{Schema: ResponseSchema, Status: string(StatusFailed), Cached: true, Error: err.Error()}, http.StatusInternalServerError
+		}
+		return &Response{Schema: ResponseSchema, Status: string(StatusDone), Cached: true, Document: doc}, http.StatusOK
+	}
+	return nil, 0
+}
+
+// startJob enqueues (or joins) the job computing req's key.
+func (s *Server) startJob(req Request) (*job, *Response) {
+	j, created, err := s.sched.enqueue(s.requestKey(req), req)
+	if err != nil {
+		s.metrics.jobsRejected.Add(1)
+		return nil, &Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: err.Error()}
+	}
+	if created {
+		j.publish("queued", fmt.Sprintf("priority=%d", req.Priority))
+	}
+	return j, nil
+}
+
+// awaitJob blocks until the job finishes or the request context is
+// cancelled; in the latter case the job keeps running and the caller
+// gets its reference.
+func (s *Server) awaitJob(ctx context.Context, j *job) Response {
+	select {
+	case <-j.done:
+		_, _, resp := j.snapshot()
+		if resp != nil {
+			return *resp
+		}
+		return Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: "job finished without a response"}
+	case <-ctx.Done():
+		return Response{Schema: ResponseSchema, Status: string(jobStatus(j)), JobID: j.id}
+	}
+}
+
+func jobStatus(j *job) JobStatus {
+	st, _, _ := j.snapshot()
+	return st
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.metrics.countRequest("jobs")
+	j, ok := s.sched.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	status, events, resp := j.snapshot()
+	writeJSON(w, http.StatusOK, JobInfo{ID: j.id, Status: status, Request: j.req, Events: events, Response: resp})
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.metrics.countRequest("jobs")
+	j, ok := s.sched.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.cancelJob(j)
+	status, _, resp := j.snapshot()
+	writeJSON(w, http.StatusOK, JobInfo{ID: j.id, Status: status, Request: j.req, Response: resp})
+}
+
+// handleJobEvents streams the job's progress as server-sent events: every
+// past event, then live ones, ending with the terminal status event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	s.metrics.countRequest("events")
+	j, ok := s.sched.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeEvent := func(ev Event) {
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+	}
+	past, live := j.subscribe()
+	for _, ev := range past {
+		writeEvent(ev)
+	}
+	flusher.Flush()
+	if live != nil {
+		defer j.unsubscribe(live)
+		for {
+			select {
+			case ev, open := <-live:
+				if !open {
+					// Terminal: the final status event is already in the
+					// log (published before close), but it may have raced
+					// past this subscriber — re-emit from the snapshot.
+					_, events, _ := j.snapshot()
+					for _, e := range events {
+						if e.Seq > lastSeq(past) {
+							writeEvent(e)
+							past = append(past, e)
+						}
+					}
+					flusher.Flush()
+					s.writeSSEDone(w, flusher, j)
+					return
+				}
+				writeEvent(ev)
+				past = append(past, ev)
+				flusher.Flush()
+			case <-r.Context().Done():
+				return
+			case <-s.baseCtx.Done():
+				return
+			}
+		}
+	}
+	s.writeSSEDone(w, flusher, j)
+}
+
+func lastSeq(events []Event) int {
+	if len(events) == 0 {
+		return 0
+	}
+	return events[len(events)-1].Seq
+}
+
+// writeSSEDone emits the closing "done" SSE frame carrying the job's
+// terminal status.
+func (s *Server) writeSSEDone(w http.ResponseWriter, flusher http.Flusher, j *job) {
+	status, _, _ := j.snapshot()
+	fmt.Fprintf(w, "event: done\ndata: %q\n\n", string(status))
+	flusher.Flush()
+}
