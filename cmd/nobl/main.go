@@ -11,6 +11,8 @@
 //	nobl trace <alg> -n N -o F    run an algorithm, write its trace JSON
 //	nobl stat F [-p P] [-sigma σ] analyze a stored trace on M(p,σ) and the
 //	                              network presets
+//	nobl benchnet [-p P] [-o F]   benchmark the routing engine across every
+//	                              topology and strategy (JSON report)
 //
 // Flags:
 //
@@ -34,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,6 +46,7 @@ import (
 	"netoblivious/internal/dbsp"
 	"netoblivious/internal/eval"
 	"netoblivious/internal/harness"
+	"netoblivious/internal/network"
 	"netoblivious/internal/service"
 )
 
@@ -102,6 +106,8 @@ func main() {
 		runTrace(engine, args[1:])
 	case "stat":
 		runStat(args[1:])
+	case "benchnet":
+		os.Exit(runBenchNet(args[1:]))
 	case "remote":
 		os.Exit(runRemote(f, args[1:]))
 	default:
@@ -128,6 +134,9 @@ func runRemote(f harness.Format, args []string) int {
 	kind := fs.String("kind", "trace", "analysis kind (bounds|machines|trace|dbsp|cache|network)")
 	p := fs.Int("p", 0, "evaluation machine processors (0 = server default sweep)")
 	sigma := fs.Float64("sigma", 0, "evaluation machine σ")
+	topology := fs.String("topology", "", "kind network: topology family ("+strings.Join(network.TopologyNames(), "|")+"; empty = all valid at p)")
+	strategy := fs.String("strategy", "", "kind network: routing strategy ("+strings.Join(network.RouterNames(), "|")+"; empty = shortest-path)")
+	seed := fs.Int64("seed", 0, "kind network: seed for randomized strategies (0 = server default)")
 	wait := fs.Bool("wait", true, "block until asynchronous analyses complete")
 	priority := fs.Int("priority", 0, "job priority (higher runs first)")
 	cancel := fs.Bool("cancel", false, "with 'job': cancel instead of show")
@@ -157,6 +166,7 @@ func runRemote(f harness.Format, args []string) int {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		fmt.Printf("kinds: %v (engine %s)\n", resp.Kinds, resp.Engine)
+		fmt.Printf("topologies: %v; strategies: %v\n", resp.Topologies, resp.Strategies)
 	case "analyze":
 		if name == "" && *kind != "machines" && *kind != "network" {
 			fmt.Fprintln(os.Stderr, "nobl remote analyze: need an algorithm name")
@@ -166,6 +176,9 @@ func runRemote(f harness.Format, args []string) int {
 			Algorithm: name,
 			Kind:      service.Kind(*kind),
 			N:         *n,
+			Topology:  *topology,
+			Strategy:  *strategy,
+			Seed:      *seed,
 			Priority:  *priority,
 			Wait:      *wait,
 		}
@@ -409,6 +422,95 @@ func writeBenchReport(path string, cfg harness.Config, recs []harness.Record, to
 	return file.Close()
 }
 
+// networkBenchReport is the schema of `nobl benchnet`: routing
+// throughput per (topology, strategy), the series CI archives as
+// BENCH_network.json to track engine performance over time.
+type networkBenchReport struct {
+	Schema  string             `json:"schema"`
+	P       int                `json:"p"`
+	H       int                `json:"h"`
+	Results []networkBenchCase `json:"cases"`
+}
+
+type networkBenchCase struct {
+	Topology   string  `json:"topology"`
+	Strategy   string  `json:"strategy"`
+	Makespan   int     `json:"makespan"`
+	TotalHops  int     `json:"total_hops"`
+	WallMs     float64 `json:"wall_ms"`
+	HopsPerSec float64 `json:"packet_hops_per_sec"`
+}
+
+// runBenchNet routes a full h-relation on every (topology, strategy)
+// pair valid at p and reports packet-hops/second.
+func runBenchNet(args []string) int {
+	fs := flag.NewFlagSet("benchnet", flag.ExitOnError)
+	p := fs.Int("p", 256, "processors (power of two; families invalid at p are skipped)")
+	h := fs.Int("h", 8, "h-relation degree")
+	reps := fs.Int("reps", 3, "repetitions per case (fastest wall-clock wins)")
+	out := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+	rep := networkBenchReport{Schema: "nobl/bench-network/v1", P: *p, H: *h}
+	rng := rand.New(rand.NewSource(1))
+	for _, family := range network.TopologyNames() {
+		if !network.TopologyValid(family, *p) {
+			fmt.Fprintf(os.Stderr, "nobl benchnet: skipping %s (invalid at p=%d)\n", family, *p)
+			continue
+		}
+		topo, err := network.TopologyByName(family, *p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nobl benchnet: %v\n", err)
+			return 1
+		}
+		sim := network.NewSim(topo)
+		msgs := network.ClusterHRelation(rng, *p, 0, *h)
+		for _, strategy := range network.RouterNames() {
+			var best networkBenchCase
+			for trial := 0; trial < *reps; trial++ {
+				router, err := network.RouterByName(strategy, 1)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "nobl benchnet: %v\n", err)
+					return 1
+				}
+				start := time.Now()
+				res := sim.RouteWith(router, msgs)
+				wall := time.Since(start)
+				c := networkBenchCase{
+					Topology:   family,
+					Strategy:   strategy,
+					Makespan:   res.Makespan,
+					TotalHops:  res.TotalHops,
+					WallMs:     wall.Seconds() * 1e3,
+					HopsPerSec: float64(res.TotalHops) / wall.Seconds(),
+				}
+				if trial == 0 || c.WallMs < best.WallMs {
+					best = c
+				}
+			}
+			rep.Results = append(rep.Results, best)
+			fmt.Fprintf(os.Stderr, "nobl benchnet: %-10s %-14s makespan %-6d %8.2f Mhops/s\n",
+				family, strategy, best.Makespan, best.HopsPerSec/1e6)
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nobl benchnet: %v\n", err)
+			return 1
+		}
+		defer file.Close()
+		w = file
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "nobl benchnet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
 func runTrace(engine core.Engine, args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	n := fs.Int("n", 1024, "input size (power of two; matmul needs a square)")
@@ -515,9 +617,13 @@ usage:
   nobl algorithms
   nobl trace <alg> [-n N] [-o file]
   nobl stat <file> [-p P] [-sigma σ]
+  nobl benchnet [-p P] [-h H] [-reps R] [-o file]
+              routing-engine throughput (packet-hops/sec) across every
+              topology x strategy, as a JSON report
   nobl remote <algorithms|analyze|job|metrics> [-addr URL] ...
               target a shared nobld daemon instead of computing locally
-              (analyze <alg> [-n N] [-kind K] [-p P] [-sigma σ] [-wait])
+              (analyze <alg> [-n N] [-kind K] [-p P] [-sigma σ] [-wait]
+               [-topology T] [-strategy S] [-seed X] for kind network)
 
 flags:
   -quick      reduced problem sizes

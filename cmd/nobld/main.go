@@ -12,7 +12,10 @@
 //	GET    /v1/jobs/{id}        job status, event log, terminal response
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events SSE progress stream
-//	GET    /v1/algorithms       algorithm registry and analysis kinds
+//	GET    /v1/algorithms       algorithm registry, analysis kinds, and the
+//	                            topology families + routing strategies a
+//	                            kind "network" request may select (its
+//	                            topology/strategy/seed fields)
 //	GET    /metrics             counters (Prometheus text; ?format=json)
 //	GET    /healthz             liveness
 //

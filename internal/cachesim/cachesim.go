@@ -77,7 +77,10 @@ func (c *Cache) AccessRange(addr int64, n int) {
 	}
 }
 
-// SimStats summarizes a trace simulation.
+// SimStats summarizes a trace simulation.  Misses and Accesses count
+// this simulation only: SimulateTrace snapshots the cache's cumulative
+// counters on entry and reports deltas, so one Cache can be reused
+// across traces (warm-cache studies) without conflating runs.
 type SimStats struct {
 	// Misses is the IC(M,B) miss count of the sequential execution.
 	Misses int64
@@ -100,6 +103,7 @@ func SimulateTrace(tr *core.Trace, ctxWords int, cache *Cache) (SimStats, error)
 	}
 	// Per-VP region: context followed by a mailbox slot.
 	region := int64(ctxWords + 1)
+	startMisses, startAccesses := cache.Misses, cache.Accesses
 	for si := range tr.Steps {
 		rec := &tr.Steps[si]
 		if rec.Messages > 0 && rec.Pairs == nil {
@@ -119,8 +123,8 @@ func SimulateTrace(tr *core.Trace, ctxWords int, cache *Cache) (SimStats, error)
 		}
 	}
 	return SimStats{
-		Misses:   cache.Misses,
-		Accesses: cache.Accesses,
+		Misses:   cache.Misses - startMisses,
+		Accesses: cache.Accesses - startAccesses,
 		Words:    int64(tr.V) * region,
 	}, nil
 }

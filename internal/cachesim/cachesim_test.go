@@ -78,6 +78,51 @@ func TestSimulateTraceNeedsPairs(t *testing.T) {
 	}
 }
 
+// TestSimulateTraceReportsPerCallDeltas is the regression test for the
+// cumulative-counter bug: SimulateTrace used to return the cache's
+// lifetime Misses/Accesses, so a reused Cache silently conflated runs.
+// Two simulations through one cache must report per-call deltas — the
+// second warm run sees fewer (or equal) misses, and the deltas sum to
+// the cache's cumulative counters.
+func TestSimulateTraceReportsPerCallDeltas(t *testing.T) {
+	tr, err := core.RunOpt(8, func(vp *core.VP[int]) {
+		for step := 0; step < 4; step++ {
+			vp.Send(vp.ID()^1, 1)
+			vp.Sync(0)
+		}
+	}, core.Options{RecordMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(1<<10, 8) // big enough that the working set stays warm
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := SimulateTrace(tr, 4, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := SimulateTrace(tr, 4, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Accesses != second.Accesses {
+		t.Errorf("same trace, different access counts: %d vs %d", first.Accesses, second.Accesses)
+	}
+	if first.Misses == 0 {
+		t.Fatal("first (cold) run reported zero misses")
+	}
+	if second.Misses > first.Misses {
+		t.Errorf("warm rerun reported more misses (%d) than the cold run (%d)", second.Misses, first.Misses)
+	}
+	if got := first.Misses + second.Misses; got != c.Misses {
+		t.Errorf("per-call deltas sum to %d, cumulative counter is %d", got, c.Misses)
+	}
+	if got := first.Accesses + second.Accesses; got != c.Accesses {
+		t.Errorf("per-call access deltas sum to %d, cumulative counter is %d", got, c.Accesses)
+	}
+}
+
 // TestMissCurveMonotone: misses cannot increase with cache size on the
 // same trace (LRU inclusion property for a fixed B).
 func TestMissCurveMonotone(t *testing.T) {

@@ -4,7 +4,34 @@ import (
 	"fmt"
 
 	"netoblivious/internal/dbsp"
+	"netoblivious/internal/network"
 )
+
+// DBSPCounterpart returns the D-BSP preset parameter vectors modeling a
+// p-processor instance of the named network family — the pairing that
+// experiment E14 and the nobld "network" analysis compare measured
+// makespans against.  It is the single source of the topology ↔ preset
+// correspondence (Bilardi–Pietracaprina–Pucci 1999): the simulated
+// network on the left, the asymptotic (g_i, ℓ_i) vectors on the right.
+func DBSPCounterpart(family string, p int) (dbsp.Params, error) {
+	if p < 2 || p&(p-1) != 0 {
+		return dbsp.Params{}, fmt.Errorf("harness: counterpart needs a power of two >= 2, got p=%d", p)
+	}
+	switch family {
+	case network.FamilyRing:
+		return dbsp.Mesh(1, p), nil
+	case network.FamilyTorus2D:
+		return dbsp.Mesh(2, p), nil
+	case network.FamilyTorus3D:
+		return dbsp.Mesh(3, p), nil
+	case network.FamilyHypercube:
+		return dbsp.Hypercube(p), nil
+	case network.FamilyFatTree:
+		return dbsp.FatTree(p), nil
+	}
+	return dbsp.Params{}, fmt.Errorf("harness: no D-BSP counterpart for topology %q (have %v)",
+		family, network.TopologyNames())
+}
 
 // PresetsResult renders the D-BSP preset parameter vectors at p as one
 // Result grid — the per-level (g_i, ℓ_i) rows of every built-in network —

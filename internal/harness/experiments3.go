@@ -4,7 +4,6 @@ import (
 	"math"
 	"math/rand"
 
-	"netoblivious/internal/dbsp"
 	"netoblivious/internal/eval"
 	"netoblivious/internal/network"
 	"netoblivious/internal/theory"
@@ -81,41 +80,65 @@ func runE14(cfg Config) ([]*Result, error) {
 	}
 	res := &Result{
 		ID: "E14", Title: "routing cluster-confined h-relations on real networks",
-		PaperRef: "Section 2; Bilardi–Pietracaprina–Pucci 1999",
-		Columns:  []string{"network", "cluster level i", "h", "measured makespan", "D-BSP h·g_i+ℓ_i", "ratio"},
-	}
-	cases := []struct {
-		topo *network.Topology
-		pr   dbsp.Params
-	}{
-		{network.Ring(p), dbsp.Mesh(1, p)},
-		{network.Torus2D(p), dbsp.Mesh(2, p)},
-		{network.Hypercube(p), dbsp.Hypercube(p)},
+		PaperRef: "Section 2; Bilardi–Pietracaprina–Pucci 1999; Valiant 1982",
+		Columns:  []string{"network", "strategy", "cluster level i", "h", "measured makespan", "D-BSP h·g_i+ℓ_i", "ratio"},
 	}
 	levels := []int{0, 2, 4}
 	if cfg.Quick {
 		levels = []int{0, 2}
 	}
-	worst := 0.0
-	for _, c := range cases {
-		sim := network.NewSim(c.topo)
+	worstDirect, worstValiant := 0.0, 0.0
+	lost := false
+	for _, family := range network.TopologyNames() {
+		if !network.TopologyValid(family, p) {
+			continue // e.g. torus3d at the non-cubic quick size
+		}
+		topo, err := network.TopologyByName(family, p)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := DBSPCounterpart(family, p)
+		if err != nil {
+			return nil, err
+		}
+		sim := network.NewSim(topo)
 		for _, level := range levels {
 			for _, h := range []int{1, 4, 16} {
+				// One relation per grid cell, routed under every
+				// strategy: the shortest-path and valiant rows of a cell
+				// compare the same traffic, not two random draws.
 				msgs := network.ClusterHRelation(rng, p, level, h)
-				r := sim.Route(msgs)
-				pred := float64(h)*c.pr.G[level] + c.pr.L[level]
-				ratio := float64(r.Makespan) / pred
-				if ratio > worst {
-					worst = ratio
+				for _, strategy := range network.RouterNames() {
+					router, err := network.RouterByName(strategy, 1999)
+					if err != nil {
+						return nil, err
+					}
+					r := sim.RouteWith(router, msgs)
+					if r.Delivered != len(msgs) {
+						lost = true
+					}
+					pred := float64(h)*pr.G[level] + pr.L[level]
+					ratio := float64(r.Makespan) / pred
+					if strategy == network.StrategyValiant {
+						if ratio > worstValiant {
+							worstValiant = ratio
+						}
+					} else if ratio > worstDirect {
+						worstDirect = ratio
+					}
+					res.AddRow(topo.Name, strategy, level, h, r.Makespan, pred, ratio)
 				}
-				res.AddRow(c.topo.Name, level, h, r.Makespan, pred, ratio)
 			}
 		}
 	}
 	res.Notes = append(res.Notes,
 		"bounded ratios across topologies, cluster levels and degrees justify using D-BSP as the execution machine model — the premise the paper takes from Bilardi et al. [1999], rebuilt here with a synchronous store-and-forward simulator",
-		"ratios below 1 reflect that random h-relations do not saturate the bisection; the D-BSP vectors are worst-case")
-	res.AddCheck("measured makespan never exceeds the D-BSP cost by more than 50%", worst <= 1.5,
-		"max makespan/(h·g_i+ℓ_i) = %.2f (bound 1.5)", worst)
+		"ratios below 1 reflect that random h-relations do not saturate the bisection; the D-BSP vectors are worst-case",
+		"valiant is two-phase oblivious routing through a random cluster-aligned intermediate: it pays about twice the distance to make congestion pattern-independent, so its ratios sit a constant factor above shortest-path")
+	res.AddCheck("every routed relation delivered in full", !lost, "all strategies, all grid points")
+	res.AddCheck("shortest-path makespan never exceeds the D-BSP cost by more than 50%", worstDirect <= 1.5,
+		"max makespan/(h·g_i+ℓ_i) = %.2f (bound 1.5)", worstDirect)
+	res.AddCheck("valiant two-phase makespan stays within 3x of the D-BSP cost", worstValiant <= 3,
+		"max makespan/(h·g_i+ℓ_i) = %.2f (bound 3)", worstValiant)
 	return []*Result{res}, nil
 }

@@ -1,0 +1,86 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchRelation is the standard benchmark workload: a full h-relation
+// (h random permutations) on the whole machine.
+func benchRelation(p, h int) [][2]int {
+	return ClusterHRelation(rand.New(rand.NewSource(1)), p, 0, h)
+}
+
+// BenchmarkRoute measures the flat engine on a p=256 hypercube full
+// h-relation — the acceptance workload of the rewrite.
+func BenchmarkRoute(b *testing.B) {
+	s := NewSim(Hypercube(256))
+	msgs := benchRelation(256, 8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Route(msgs)
+	}
+}
+
+// BenchmarkRouteMapReference is the same workload on the pre-refactor
+// map-of-slices simulator; the ratio to BenchmarkRoute is the speedup.
+func BenchmarkRouteMapReference(b *testing.B) {
+	s := NewSim(Hypercube(256))
+	msgs := benchRelation(256, 8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.routeMapReference(msgs)
+	}
+}
+
+// BenchmarkRouteTopologies tracks throughput across the topology suite.
+func BenchmarkRouteTopologies(b *testing.B) {
+	for _, topo := range []*Topology{Ring(256), Torus2D(256), Torus3D(512), Hypercube(256), FatTree(256)} {
+		s := NewSim(topo)
+		msgs := benchRelation(topo.P, 4)
+		b.Run(topo.Family, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Route(msgs)
+			}
+		})
+	}
+}
+
+// BenchmarkRouteValiant tracks the randomized strategy's overhead.
+func BenchmarkRouteValiant(b *testing.B) {
+	s := NewSim(Hypercube(256))
+	msgs := benchRelation(256, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RouteWith(Valiant(int64(i)), msgs)
+	}
+}
+
+// BenchmarkRouteSets compares sequential vs parallel routing of the
+// disconnected per-cluster simulations.
+func BenchmarkRouteSets(b *testing.B) {
+	p, level := 256, 2
+	s := NewSim(Hypercube(p))
+	m := p >> uint(level)
+	rng := rand.New(rand.NewSource(2))
+	var sets [][][2]int
+	for base := 0; base < p; base += m {
+		set := ClusterHRelation(rng, m, 0, 8)
+		for i := range set {
+			set[i][0] += base
+			set[i][1] += base
+		}
+		sets = append(sets, set)
+	}
+	for _, parallel := range []bool{false, true} {
+		b.Run(fmt.Sprintf("parallel=%v", parallel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.RouteSets(sets, nil, parallel)
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package network
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Packet is the in-flight routing state of one message.  Dst is the final
+// destination; Via is the intermediate destination of a two-phase
+// strategy (Valiant), or -1 when heading straight to Dst.
+type Packet struct {
+	Dst int32
+	Via int32
+}
+
+// target is the node the packet is currently steering toward.
+func (pk Packet) target() int32 {
+	if pk.Via >= 0 {
+		return pk.Via
+	}
+	return pk.Dst
+}
+
+// RouteResult summarizes one routed message set.
+type RouteResult struct {
+	// Makespan is the number of steps until the last delivery.
+	Makespan int
+	// TotalHops is the sum of path lengths actually traversed.
+	TotalHops int
+	// Delivered is the number of messages routed.
+	Delivered int
+}
+
+// edgeQueue is a growable FIFO ring buffer of packets for one directed
+// edge.  The zero value is an empty queue.
+type edgeQueue struct {
+	buf  []Packet
+	head int
+	n    int
+}
+
+func (q *edgeQueue) push(pk Packet) {
+	if q.n == len(q.buf) {
+		grown := make([]Packet, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = pk
+	q.n++
+}
+
+func (q *edgeQueue) pop() Packet {
+	pk := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return pk
+}
+
+// arrival is a packet that traversed an edge this step.
+type arrival struct {
+	at int32
+	pk Packet
+}
+
+// routeState is the per-Route mutable state of the engine, reusable
+// across calls on the same Sim (via the state pool) so steady-state
+// routing allocates nothing per step.
+type routeState struct {
+	queues   []edgeQueue
+	active   []uint64 // bitset over directed edge ids; set = queue nonempty
+	arrivals []arrival
+}
+
+func (s *Sim) newState() *routeState {
+	e := s.topo.Edges()
+	return &routeState{
+		queues: make([]edgeQueue, e),
+		active: make([]uint64, (e+63)/64),
+	}
+}
+
+func (s *Sim) getState() *routeState {
+	if st := s.states.Get(); st != nil {
+		return st.(*routeState)
+	}
+	return s.newState()
+}
+
+func (s *Sim) putState(st *routeState) { s.states.Put(st) }
+
+// Route injects every (src, dst) message at time 0 and runs the
+// synchronous store-and-forward simulation to completion under
+// deterministic shortest-path routing.  Messages with src == dst are
+// delivered instantly.
+func (s *Sim) Route(msgs [][2]int) RouteResult {
+	return s.RouteWith(ShortestPath(), msgs)
+}
+
+// RouteWith routes the message set under the given strategy.  Identical
+// inputs (and, for randomized routers, identical seeds) produce identical
+// results on every run: packets are injected in message order and edges
+// always drain in ascending edge-id order — the (node, neighbor-index)
+// lexicographic order — with no dependence on scheduling or GOMAXPROCS.
+func (s *Sim) RouteWith(r Router, msgs [][2]int) RouteResult {
+	for _, m := range msgs {
+		if m[0] < 0 || m[0] >= s.topo.P || m[1] < 0 || m[1] >= s.topo.P {
+			panic(fmt.Sprintf("network: message %v out of range", m))
+		}
+	}
+	st := s.getState()
+	res := st.run(s, r, msgs)
+	// Pooled only on normal completion: a panic unwinding past here (a
+	// router or topology bug) must not recycle half-drained queues into
+	// the next Route call.
+	s.putState(st)
+	return res
+}
+
+// enqueue places pk, currently at node `at`, on an outgoing edge toward
+// its next hop: among the parallel edges of the (at → hop) link it picks
+// the shortest queue, breaking ties by lowest edge id.
+func (st *routeState) enqueue(s *Sim, at int32, pk Packet) {
+	hop := s.nextHop[at][pk.target()]
+	for _, g := range s.topo.links[at] {
+		if g.to != hop {
+			continue
+		}
+		e := g.e0
+		if g.width > 1 {
+			best := st.queues[e].n
+			for i := int32(1); i < g.width; i++ {
+				if n := st.queues[g.e0+i].n; n < best {
+					best, e = n, g.e0+i
+				}
+			}
+		}
+		st.queues[e].push(pk)
+		st.active[e>>6] |= 1 << uint(e&63)
+		return
+	}
+	panic(fmt.Sprintf("network: %s: no link %d->%d", s.topo.Name, at, hop))
+}
+
+// settle advances the packet's phase at node `at`: clearing a reached
+// intermediate destination.  It reports whether the packet is home.
+func settle(at int32, pk *Packet) (delivered bool) {
+	if pk.Via == at {
+		pk.Via = -1
+	}
+	return pk.Dst == at
+}
+
+func (st *routeState) run(s *Sim, r Router, msgs [][2]int) RouteResult {
+	res := RouteResult{}
+	inflight := 0
+	for _, m := range msgs {
+		pk := r.Inject(int32(m[0]), int32(m[1]))
+		if settle(int32(m[0]), &pk) {
+			res.Delivered++
+			continue
+		}
+		st.enqueue(s, int32(m[0]), pk)
+		inflight++
+	}
+	step := 0
+	arrivals := st.arrivals[:0]
+	for inflight > 0 {
+		step++
+		// Drain one packet from every active edge, ascending edge id.
+		// The bitset scan is the event horizon: idle edges cost one
+		// cleared bit, not a map visit and a sort slot.
+		for w, word := range st.active {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				e := int32(w<<6 | b)
+				q := &st.queues[e]
+				arrivals = append(arrivals, arrival{at: s.topo.edgeHead[e], pk: q.pop()})
+				res.TotalHops++
+				if q.n == 0 {
+					st.active[w] &^= 1 << uint(b)
+				}
+			}
+		}
+		// Deliver or forward, in the same deterministic order.
+		for _, a := range arrivals {
+			if settle(a.at, &a.pk) {
+				res.Delivered++
+				res.Makespan = step
+				inflight--
+				continue
+			}
+			st.enqueue(s, a.at, a.pk)
+		}
+		arrivals = arrivals[:0]
+	}
+	st.arrivals = arrivals
+	return res
+}
+
+// MergeResults combines results of independently routed message sets: the
+// merged makespan is the maximum (the sets run concurrently on disjoint
+// parts of the network), hops and deliveries add.
+func MergeResults(results []RouteResult) RouteResult {
+	var m RouteResult
+	for _, r := range results {
+		if r.Makespan > m.Makespan {
+			m.Makespan = r.Makespan
+		}
+		m.TotalHops += r.TotalHops
+		m.Delivered += r.Delivered
+	}
+	return m
+}
+
+// RouteSets routes independent message sets, each with its own router
+// from mkRouter (nil = shortest-path for every set; randomized routers
+// must not be shared across sets, their RNG draws would race).  With
+// parallel true the sets run concurrently on separate engine states
+// sharing the immutable tables.  Per-set results are deterministic either
+// way.  When the sets use disjoint links — e.g. cluster-confined
+// h-relations on ring or hypercube, whose shortest paths stay inside the
+// index-prefix cluster — MergeResults of the output equals routing the
+// union in one call.
+func (s *Sim) RouteSets(sets [][][2]int, mkRouter func(set int) Router, parallel bool) []RouteResult {
+	if mkRouter == nil {
+		mkRouter = func(int) Router { return ShortestPath() }
+	}
+	out := make([]RouteResult, len(sets))
+	if !parallel {
+		for i, msgs := range sets {
+			out[i] = s.RouteWith(mkRouter(i), msgs)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i, msgs := range sets {
+		wg.Add(1)
+		go func(i int, msgs [][2]int) {
+			defer wg.Done()
+			out[i] = s.RouteWith(mkRouter(i), msgs)
+		}(i, msgs)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,123 +1,57 @@
 // Package network implements synchronous store-and-forward point-to-point
-// network simulators (ring, 2-D torus, hypercube).  Its purpose in the
-// reproduction is foundational: the paper adopts D-BSP(p, g, ℓ) as its
-// execution machine model on the strength of Bilardi, Pietracaprina and
-// Pucci (Euro-Par 1999), who show the model's 2·log p parameters capture
-// the communication costs of a large class of point-to-point networks.
-// This package rebuilds that evidence executably: experiment E14 routes
-// h-relations confined to i-clusters on the actual networks and compares
-// the measured makespan against the D-BSP prediction h·g_i + ℓ_i of the
-// corresponding preset vectors (internal/dbsp).
+// network simulators (ring, 2-D/3-D torus, hypercube, area-universal
+// fat-tree).  Its purpose in the reproduction is foundational: the paper
+// adopts D-BSP(p, g, ℓ) as its execution machine model on the strength of
+// Bilardi, Pietracaprina and Pucci (Euro-Par 1999), who show the model's
+// 2·log p parameters capture the communication costs of a large class of
+// point-to-point networks.  This package rebuilds that evidence
+// executably: experiment E14 routes h-relations confined to i-clusters on
+// the actual networks and compares the measured makespan against the
+// D-BSP prediction h·g_i + ℓ_i of the corresponding preset vectors
+// (internal/dbsp).
 //
 // The simulator model: time advances in synchronous steps; every directed
 // link transfers one packet per step (FIFO output queues, unbounded
 // buffers); packets follow precomputed shortest-path next-hop tables with
-// deterministic tie-breaking, so simulations are reproducible.
+// deterministic tie-breaking, so simulations are reproducible.  Routing
+// strategies are pluggable behind the Router interface (router.go): the
+// default deterministic shortest-path router, or Valiant-style randomized
+// two-phase oblivious routing with a seeded RNG.  The routing core
+// (engine.go) is a flat allocation-conscious engine: per-edge ring-buffer
+// queues indexed by a contiguous edge array, with an active-edge bitset
+// horizon that skips idle links instead of sorting every touched edge on
+// every step.
 package network
 
-import (
-	"fmt"
-	"sort"
-)
-
-// Topology is an undirected multigraph of processors.
-type Topology struct {
-	// Name identifies the network family and size.
-	Name string
-	// P is the number of processors (= nodes; no separate switch nodes).
-	P int
-	// adj[u] lists the neighbors of node u in deterministic order.
-	adj [][]int
-}
-
-// Neighbors returns the adjacency list of node u.
-func (t *Topology) Neighbors(u int) []int { return t.adj[u] }
-
-// Ring builds a p-node ring (the 1-D torus); its D-BSP counterpart is
-// dbsp.Mesh(1, p).  p = 1 is the degenerate single-node network: no
-// links, every message local.
-func Ring(p int) *Topology {
-	if p < 1 || p&(p-1) != 0 {
-		panic(fmt.Sprintf("network: p=%d must be a power of two >= 1", p))
-	}
-	t := &Topology{Name: fmt.Sprintf("ring(p=%d)", p), P: p, adj: make([][]int, p)}
-	if p == 1 {
-		t.adj[0] = []int{}
-		return t
-	}
-	for u := 0; u < p; u++ {
-		t.adj[u] = []int{(u + 1) % p, (u + p - 1) % p}
-	}
-	return t
-}
-
-// Torus2D builds a √p×√p torus; its D-BSP counterpart is dbsp.Mesh(2, p).
-// Node (r, c) has index r·√p + c, so D-BSP clusters (index prefixes) are
-// unions of whole rows — submachines with the right bisection, matching
-// the recursive decomposition of the 1999 analysis.
-func Torus2D(p int) *Topology {
-	q := 1
-	for q*q < p {
-		q *= 2
-	}
-	if q*q != p {
-		panic(fmt.Sprintf("network: Torus2D needs a square power of two, got %d", p))
-	}
-	t := &Topology{Name: fmt.Sprintf("torus2D(p=%d)", p), P: p, adj: make([][]int, p)}
-	for r := 0; r < q; r++ {
-		for c := 0; c < q; c++ {
-			u := r*q + c
-			t.adj[u] = []int{
-				r*q + (c+1)%q,
-				r*q + (c+q-1)%q,
-				((r+1)%q)*q + c,
-				((r+q-1)%q)*q + c,
-			}
-		}
-	}
-	return t
-}
-
-// Hypercube builds a log p-dimensional binary hypercube; its D-BSP
-// counterpart is dbsp.Hypercube(p).
-func Hypercube(p int) *Topology {
-	if p < 2 || p&(p-1) != 0 {
-		panic(fmt.Sprintf("network: p=%d must be a power of two >= 2", p))
-	}
-	t := &Topology{Name: fmt.Sprintf("hypercube(p=%d)", p), P: p, adj: make([][]int, p)}
-	for u := 0; u < p; u++ {
-		for b := 1; b < p; b *= 2 {
-			t.adj[u] = append(t.adj[u], u^b)
-		}
-	}
-	return t
-}
+import "sync"
 
 // Sim is a routing simulator for one topology, with precomputed
 // shortest-path next-hop tables.
 type Sim struct {
 	topo *Topology
-	// nextHop[u][dst] is the neighbor u forwards packets for dst to.
+	// nextHop[u][dst] is the neighbor node u forwards packets for dst to.
 	nextHop [][]int32
 	// dist[u][dst] is the shortest-path distance.
 	dist [][]int32
+	// states recycles engine state (queues, bitsets) across Route calls.
+	states sync.Pool
 }
 
 // NewSim precomputes deterministic shortest-path routing tables with a
 // breadth-first search from every destination (ties broken by smallest
-// neighbor index).
+// neighbor index).  Tables cover every node, switches included.
 func NewSim(t *Topology) *Sim {
-	p := t.P
-	s := &Sim{topo: t, nextHop: make([][]int32, p), dist: make([][]int32, p)}
-	for u := 0; u < p; u++ {
-		s.nextHop[u] = make([]int32, p)
-		s.dist[u] = make([]int32, p)
+	n := t.N
+	s := &Sim{topo: t, nextHop: make([][]int32, n), dist: make([][]int32, n)}
+	for u := 0; u < n; u++ {
+		s.nextHop[u] = make([]int32, n)
+		s.dist[u] = make([]int32, n)
 		for d := range s.dist[u] {
 			s.dist[u][d] = -1
 		}
 	}
-	queue := make([]int, 0, p)
-	for dst := 0; dst < p; dst++ {
+	queue := make([]int, 0, n)
+	for dst := 0; dst < n; dst++ {
 		// BFS over reversed edges (graph is undirected).
 		queue = queue[:0]
 		queue = append(queue, dst)
@@ -137,113 +71,22 @@ func NewSim(t *Topology) *Sim {
 	return s
 }
 
+// Topology returns the simulated network.
+func (s *Sim) Topology() *Topology { return s.topo }
+
 // Dist returns the shortest-path distance between two nodes.
 func (s *Sim) Dist(u, v int) int { return int(s.dist[u][v]) }
 
-// Diameter returns the network diameter.
+// Diameter returns the maximum shortest-path distance between two
+// processors (switch nodes are route infrastructure, not endpoints).
 func (s *Sim) Diameter() int {
 	m := 0
-	for u := range s.dist {
-		for _, d := range s.dist[u] {
+	for u := 0; u < s.topo.P; u++ {
+		for _, d := range s.dist[u][:s.topo.P] {
 			if int(d) > m {
 				m = int(d)
 			}
 		}
 	}
 	return m
-}
-
-// packet is an in-flight message.
-type packet struct {
-	dst int
-	seq int // injection order, for deterministic queueing
-}
-
-// RouteResult summarizes one routed message set.
-type RouteResult struct {
-	// Makespan is the number of steps until the last delivery.
-	Makespan int
-	// TotalHops is the sum of path lengths actually traversed.
-	TotalHops int
-	// Delivered is the number of messages routed.
-	Delivered int
-}
-
-// Route injects every (src, dst) message at time 0 and runs the
-// synchronous store-and-forward simulation to completion.  Messages with
-// src == dst are delivered instantly.
-func (s *Sim) Route(msgs [][2]int) RouteResult {
-	p := s.topo.P
-	// Output queue per directed edge, keyed by (u, neighbor index).
-	type edgeKey struct{ u, ni int }
-	queues := map[edgeKey][]packet{}
-	neighborIndex := make([]map[int]int, p)
-	for u := 0; u < p; u++ {
-		neighborIndex[u] = make(map[int]int, len(s.topo.adj[u]))
-		for ni, w := range s.topo.adj[u] {
-			neighborIndex[u][w] = ni
-		}
-	}
-	res := RouteResult{}
-	enqueue := func(at int, pk packet) bool {
-		if at == pk.dst {
-			res.Delivered++
-			return false
-		}
-		hop := int(s.nextHop[at][pk.dst])
-		k := edgeKey{at, neighborIndex[at][hop]}
-		queues[k] = append(queues[k], pk)
-		return true
-	}
-	inflight := 0
-	for i, m := range msgs {
-		if m[0] < 0 || m[0] >= p || m[1] < 0 || m[1] >= p {
-			panic(fmt.Sprintf("network: message %v out of range", m))
-		}
-		if enqueue(m[0], packet{dst: m[1], seq: i}) {
-			inflight++
-		}
-	}
-	step := 0
-	type arrival struct {
-		at int
-		pk packet
-	}
-	for inflight > 0 {
-		step++
-		// Deterministic edge order.
-		keys := make([]edgeKey, 0, len(queues))
-		for k, q := range queues {
-			if len(q) > 0 {
-				keys = append(keys, k)
-			}
-		}
-		sort.Slice(keys, func(a, b int) bool {
-			if keys[a].u != keys[b].u {
-				return keys[a].u < keys[b].u
-			}
-			return keys[a].ni < keys[b].ni
-		})
-		arrivals := make([]arrival, 0, len(keys))
-		for _, k := range keys {
-			q := queues[k]
-			pk := q[0]
-			queues[k] = q[1:]
-			res.TotalHops++
-			arrivals = append(arrivals, arrival{at: s.topo.adj[k.u][k.ni], pk: pk})
-		}
-		for _, a := range arrivals {
-			if a.at == a.pk.dst {
-				res.Delivered++
-				res.Makespan = step
-				inflight--
-				continue
-			}
-			if !enqueue(a.at, a.pk) {
-				res.Makespan = step
-				inflight--
-			}
-		}
-	}
-	return res
 }

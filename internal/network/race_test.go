@@ -1,0 +1,7 @@
+//go:build race
+
+package network
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose instrumentation skews tight-loop timing comparisons.
+const raceEnabled = true

@@ -1,0 +1,87 @@
+package network
+
+import "sort"
+
+// routeMapReference is the pre-refactor map-of-slices simulator, retained
+// verbatim (modulo the removal of the never-read packet.seq field) as the
+// behavioral reference for the flat engine: the golden test pins
+// RouteResult equality on seed cases, and BenchmarkRouteMapReference
+// quantifies the speedup of the rewrite.  Its hot loop re-collects and
+// re-sorts every edge key ever touched on every step and never deletes
+// drained keys — the O(E log E)-per-step behavior the flat engine
+// replaces.
+func (s *Sim) routeMapReference(msgs [][2]int) RouteResult {
+	p := s.topo.P
+	type refPacket struct {
+		dst int
+	}
+	// Output queue per directed edge, keyed by (u, neighbor index).
+	type edgeKey struct{ u, ni int }
+	queues := map[edgeKey][]refPacket{}
+	neighborIndex := make([]map[int]int, p)
+	for u := 0; u < p; u++ {
+		neighborIndex[u] = make(map[int]int, len(s.topo.adj[u]))
+		for ni, w := range s.topo.adj[u] {
+			neighborIndex[u][w] = ni
+		}
+	}
+	res := RouteResult{}
+	enqueue := func(at int, pk refPacket) bool {
+		if at == pk.dst {
+			res.Delivered++
+			return false
+		}
+		hop := int(s.nextHop[at][pk.dst])
+		k := edgeKey{at, neighborIndex[at][hop]}
+		queues[k] = append(queues[k], pk)
+		return true
+	}
+	inflight := 0
+	for _, m := range msgs {
+		if enqueue(m[0], refPacket{dst: m[1]}) {
+			inflight++
+		}
+	}
+	step := 0
+	type refArrival struct {
+		at int
+		pk refPacket
+	}
+	for inflight > 0 {
+		step++
+		// Deterministic edge order.
+		keys := make([]edgeKey, 0, len(queues))
+		for k, q := range queues {
+			if len(q) > 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].u != keys[b].u {
+				return keys[a].u < keys[b].u
+			}
+			return keys[a].ni < keys[b].ni
+		})
+		arrivals := make([]refArrival, 0, len(keys))
+		for _, k := range keys {
+			q := queues[k]
+			pk := q[0]
+			queues[k] = q[1:]
+			res.TotalHops++
+			arrivals = append(arrivals, refArrival{at: s.topo.adj[k.u][k.ni], pk: pk})
+		}
+		for _, a := range arrivals {
+			if a.at == a.pk.dst {
+				res.Delivered++
+				res.Makespan = step
+				inflight--
+				continue
+			}
+			if !enqueue(a.at, a.pk) {
+				res.Makespan = step
+				inflight--
+			}
+		}
+	}
+	return res
+}

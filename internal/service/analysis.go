@@ -93,6 +93,16 @@ type Request struct {
 	// default sweep: powers of two up to min(v, 64) at σ ∈ {0, 16}
 	// (for "machines"/"network"/"dbsp", the largest p of the sweep).
 	Machines []MachineSpec `json:"machines,omitempty"`
+	// Topology selects the simulated network family for kind "network"
+	// (ring, torus2d, torus3d, hypercube, fattree); empty means the full
+	// suite of families valid at the requested p.
+	Topology string `json:"topology,omitempty"`
+	// Strategy selects the routing strategy for kind "network":
+	// "shortest-path" (default) or "valiant".
+	Strategy string `json:"strategy,omitempty"`
+	// Seed seeds randomized routing strategies; 0 means a fixed default,
+	// so identical requests stay cacheable.
+	Seed int64 `json:"seed,omitempty"`
 	// Priority orders queued jobs: higher runs first (FIFO within a
 	// priority).  Synchronous kinds ignore it.
 	Priority int `json:"priority,omitempty"`
@@ -136,6 +146,25 @@ func (r *Request) normalize() error {
 			return fmt.Errorf("machine sigma=%v must be finite and nonnegative", m.Sigma)
 		}
 	}
+	if r.Kind != KindNetwork && (r.Topology != "" || r.Strategy != "" || r.Seed != 0) {
+		return fmt.Errorf("topology/strategy/seed only apply to kind %q", KindNetwork)
+	}
+	if r.Kind == KindNetwork {
+		p := r.maxMachineP(0)
+		if r.Topology != "" {
+			if _, err := network.TopologyByName(r.Topology, p); err != nil {
+				return fmt.Errorf("at p=%d: %v", p, err)
+			}
+		}
+		if r.Strategy != "" {
+			if _, err := network.RouterByName(r.Strategy, 0); err != nil {
+				return err
+			}
+		}
+		if r.Seed < 0 {
+			return fmt.Errorf("seed must be nonnegative, got %d", r.Seed)
+		}
+	}
 	return nil
 }
 
@@ -148,6 +177,9 @@ func (r Request) Key() string {
 	fmt.Fprintf(&sb, "%s/%s/n=%d", r.Kind, r.Algorithm, r.N)
 	for _, m := range r.Machines {
 		fmt.Fprintf(&sb, "/p=%d,s=%g", m.P, m.Sigma)
+	}
+	if r.Topology != "" || r.Strategy != "" || r.Seed != 0 {
+		fmt.Fprintf(&sb, "/topo=%s,strat=%s,seed=%d", r.Topology, r.Strategy, r.Seed)
 	}
 	return sb.String()
 }
@@ -508,53 +540,95 @@ func networkLevels(p int) []int {
 	return levels
 }
 
+// defaultNetworkSeed seeds randomized strategies when the request does
+// not pin one, keeping identical requests cacheable.
+const defaultNetworkSeed = 7
+
+// networkPairings resolves the request's topology selection into
+// (topology, counterpart-preset) pairs: one pair for an explicit
+// topology, otherwise every registered family valid at p.
+func networkPairings(req Request, p int) ([]*network.Topology, []dbsp.Params, error) {
+	families := network.TopologyNames()
+	if req.Topology != "" {
+		families = []string{req.Topology}
+	}
+	var topos []*network.Topology
+	var prs []dbsp.Params
+	for _, family := range families {
+		if req.Topology == "" && !network.TopologyValid(family, p) {
+			continue
+		}
+		topo, err := network.TopologyByName(family, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		pr, err := harness.DBSPCounterpart(family, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		topos = append(topos, topo)
+		prs = append(prs, pr)
+	}
+	return topos, prs, nil
+}
+
 // analyzeNetwork routes cluster h-relations on the simulated networks
-// and compares the measured makespan against h·g_i + ℓ_i.
+// under the requested strategy and compares the measured makespan
+// against h·g_i + ℓ_i of the matching D-BSP preset.
 func analyzeNetwork(ctx context.Context, req Request, progress progressFunc) ([]*harness.Result, error) {
 	p := req.maxMachineP(0)
-	type pairing struct {
-		topo *network.Topology
-		pr   dbsp.Params
+	strategy := req.Strategy
+	if strategy == "" {
+		strategy = network.StrategyShortestPath
 	}
-	pairings := []pairing{
-		{network.Ring(p), dbsp.Mesh(1, p)},
-		{network.Hypercube(p), dbsp.Hypercube(p)},
+	seed := req.Seed
+	if seed == 0 {
+		seed = defaultNetworkSeed
 	}
-	if q := int(math.Round(math.Sqrt(float64(p)))); q*q == p {
-		pairings = append(pairings, pairing{network.Torus2D(p), dbsp.Mesh(2, p)})
+	topos, prs, err := networkPairings(req, p)
+	if err != nil {
+		return nil, err
 	}
 	res := &harness.Result{
 		ID:       string(KindNetwork),
-		Title:    fmt.Sprintf("routing vs D-BSP prediction at p=%d", p),
-		PaperRef: "E14; Euro-Par 1999",
-		Columns:  []string{"network", "level", "h", "makespan", "predicted", "ratio"},
+		Title:    fmt.Sprintf("routing vs D-BSP prediction at p=%d (strategy %s)", p, strategy),
+		PaperRef: "E14; Euro-Par 1999; Valiant 1982",
+		Columns:  []string{"network", "strategy", "level", "h", "makespan", "predicted", "ratio"},
 	}
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(defaultNetworkSeed))
 	inBand := true
-	for _, c := range pairings {
-		progress.emit("routing", c.topo.Name)
-		sim := network.NewSim(c.topo)
+	band := 3.0
+	if strategy == network.StrategyValiant {
+		band = 6.0 // two phases double the distance term
+	}
+	for ci, topo := range topos {
+		progress.emit("routing", fmt.Sprintf("%s via %s", topo.Name, strategy))
+		sim := network.NewSim(topo)
 		for _, level := range networkLevels(p) {
 			for _, h := range []int{1, 4, 16} {
 				if err := ctx.Err(); err != nil {
 					return nil, fmt.Errorf("network analysis cancelled: %w", err)
 				}
+				router, err := network.RouterByName(strategy, seed)
+				if err != nil {
+					return nil, err
+				}
 				msgs := network.ClusterHRelation(rng, p, level, h)
-				rr := sim.Route(msgs)
+				rr := sim.RouteWith(router, msgs)
 				pred, ratio := 0.0, 0.0
-				if level < len(c.pr.G) {
-					pred = float64(h)*c.pr.G[level] + c.pr.L[level]
+				if level < len(prs[ci].G) {
+					pred = float64(h)*prs[ci].G[level] + prs[ci].L[level]
 					ratio = float64(rr.Makespan) / pred
-					if ratio > 3 {
+					if ratio > band {
 						inBand = false
 					}
 				}
-				res.AddRow(c.topo.Name, level, h, rr.Makespan, pred, ratio)
+				res.AddRow(topo.Name, strategy, level, h, rr.Makespan, pred, ratio)
 			}
 		}
 	}
 	res.AddCheck("makespan within constant band of h*g_i + l_i", inBand,
-		"%d routed patterns across %d networks", len(res.Rows), len(pairings))
+		"%d routed patterns across %d networks (band %.0fx, strategy %s)", len(res.Rows), len(topos), band, strategy)
 	res.Notes = append(res.Notes, "level = log2 p rows are all-local (m=1 clusters): makespan 0, no D-BSP term")
 	return []*harness.Result{res}, nil
 }

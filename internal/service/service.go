@@ -11,6 +11,7 @@ import (
 
 	"netoblivious/internal/core"
 	"netoblivious/internal/harness"
+	"netoblivious/internal/network"
 )
 
 // Config tunes a Server.  The zero value is usable: every field has a
@@ -113,6 +114,10 @@ type AlgorithmsResponse struct {
 	Engine     string          `json:"engine"`
 	Algorithms []AlgorithmInfo `json:"algorithms"`
 	Kinds      []Kind          `json:"kinds"`
+	// Topologies and Strategies enumerate the network families and
+	// routing strategies a kind "network" request may select.
+	Topologies []string `json:"topologies"`
+	Strategies []string `json:"strategies"`
 }
 
 // Server is the nobld analysis service: HTTP handlers over a priority
@@ -205,9 +210,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	s.metrics.countRequest("algorithms")
 	resp := AlgorithmsResponse{
-		Schema: "nobld/algorithms/v1",
-		Engine: s.engine.Name(),
-		Kinds:  Kinds(),
+		Schema:     "nobld/algorithms/v1",
+		Engine:     s.engine.Name(),
+		Kinds:      Kinds(),
+		Topologies: network.TopologyNames(),
+		Strategies: network.RouterNames(),
 	}
 	for _, a := range harness.TraceAlgorithms() {
 		resp.Algorithms = append(resp.Algorithms, AlgorithmInfo{Name: a.Name, Doc: a.Doc})

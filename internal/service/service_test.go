@@ -193,6 +193,90 @@ func TestEveryAlgorithmEveryAsyncKind(t *testing.T) {
 	}
 }
 
+// TestNetworkTopologyStrategySelection is an acceptance criterion of the
+// routing-engine PR: the network analysis is steerable per request — any
+// registered topology family and routing strategy, end to end through
+// POST /v1/analyze.
+func TestNetworkTopologyStrategySelection(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	for _, tc := range []struct{ topology, strategy string }{
+		{"fattree", "valiant"},
+		{"torus3d", "shortest-path"},
+		{"hypercube", "valiant"},
+	} {
+		req := Request{
+			Kind: KindNetwork, Wait: true,
+			Topology: tc.topology, Strategy: tc.strategy, Seed: 11,
+			Machines: []MachineSpec{{P: 64}},
+		}
+		resp, err := c.Analyze(ctx, req)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.topology, tc.strategy, err)
+		}
+		if resp.Status != "done" || resp.Document == nil {
+			t.Fatalf("%s/%s: %+v", tc.topology, tc.strategy, resp)
+		}
+		res := resp.Document.Records[0].Results[0]
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s/%s: empty grid", tc.topology, tc.strategy)
+		}
+		// Every row names the requested topology family and strategy.
+		for _, row := range res.Rows {
+			if !strings.Contains(row[0].Str, tc.topology[:4]) {
+				t.Errorf("row topology %q does not match requested %q", row[0].Str, tc.topology)
+			}
+			if row[1].Str != tc.strategy {
+				t.Errorf("row strategy %q, want %q", row[1].Str, tc.strategy)
+			}
+		}
+		for _, check := range res.Checks {
+			if !check.Pass {
+				t.Errorf("%s/%s: failed check %s (%s)", tc.topology, tc.strategy, check.Name, check.Detail)
+			}
+		}
+	}
+	// The registry is discoverable.
+	algs, err := c.Algorithms(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algs.Topologies) != 5 || len(algs.Strategies) != 2 {
+		t.Errorf("algorithms response lists %v / %v", algs.Topologies, algs.Strategies)
+	}
+	// Distinct strategies are distinct cache entries: the valiant run
+	// above must not shadow a shortest-path run of the same grid.
+	base := Request{Kind: KindNetwork, Wait: true, Machines: []MachineSpec{{P: 64}}, Topology: "hypercube"}
+	spResp, err := c.Analyze(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spResp.Cached {
+		t.Error("shortest-path run shadowed by the valiant cache entry")
+	}
+}
+
+// TestNetworkValidation: unknown or size-invalid topology/strategy
+// selections fail fast with 400s, and the fields are rejected on
+// non-network kinds.
+func TestNetworkValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	cases := []Request{
+		{Kind: KindNetwork, Topology: "moebius"},
+		{Kind: KindNetwork, Strategy: "hot-potato"},
+		{Kind: KindNetwork, Topology: "torus3d", Machines: []MachineSpec{{P: 16}}}, // 16 is not a cube
+		{Kind: KindNetwork, Seed: -3},
+		{Kind: KindTrace, Algorithm: "fft", N: 256, Topology: "ring"},
+		{Kind: KindBounds, Algorithm: "fft", N: 256, Strategy: "valiant"},
+	}
+	for _, req := range cases {
+		if _, err := c.Analyze(ctx, req); err == nil {
+			t.Errorf("request %+v accepted, want validation error", req)
+		}
+	}
+}
+
 // TestBatchRepeatFullyCached is an acceptance criterion: a repeated batch
 // request is answered entirely from cache, verified via the metrics
 // counters.
