@@ -1,0 +1,226 @@
+package alg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"netoblivious/internal/core"
+)
+
+// testAlgorithm builds a registrable no-op algorithm (one empty
+// superstep) under the given name.
+func testAlgorithm(name string) Algorithm {
+	return Algorithm{
+		Name:    name,
+		Doc:     "test fixture: one empty superstep",
+		SizeDoc: "a power of two >= 2",
+		Sizes:   []int{2, 4, 8},
+		Valid:   PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec Spec, n int) (Result, error) {
+			tr, err := core.RunOpt(n, func(vp *core.VP[int]) { vp.Sync(0) }, spec.RunOptions())
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Trace: tr}, nil
+		},
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	a := testAlgorithm("t-reg-lookup")
+	if err := Register(a); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	got, ok := ByName("t-reg-lookup")
+	if !ok || got.Doc != a.Doc {
+		t.Fatalf("ByName lost the descriptor: ok=%v got=%+v", ok, got)
+	}
+	if _, ok := ByName("t-no-such"); ok {
+		t.Error("ByName found an unregistered name")
+	}
+	found := false
+	for _, e := range All() {
+		if e.Name == "t-reg-lookup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("All() does not list the registered algorithm")
+	}
+	run, err := got.Run(context.Background(), Spec{}, 4)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if run.Trace == nil || run.Trace.V != 4 {
+		t.Fatalf("Run returned trace %+v, want v=4", run.Trace)
+	}
+}
+
+func TestRegisterRejectsMalformed(t *testing.T) {
+	base := testAlgorithm("t-malformed")
+	cases := []struct {
+		label  string
+		mutate func(*Algorithm)
+	}{
+		{"empty name", func(a *Algorithm) { a.Name = "" }},
+		{"slash in name", func(a *Algorithm) { a.Name = "a/b" }},
+		{"at-sign in name", func(a *Algorithm) { a.Name = "a@b" }},
+		{"space in name", func(a *Algorithm) { a.Name = "a b" }},
+		{"empty doc", func(a *Algorithm) { a.Doc = "" }},
+		{"nil RunFn", func(a *Algorithm) { a.RunFn = nil }},
+		{"no default sizes", func(a *Algorithm) { a.Sizes = nil }},
+		{"invalid default size", func(a *Algorithm) { a.Sizes = []int{3} }},
+	}
+	for _, c := range cases {
+		a := base
+		c.mutate(&a)
+		if err := Register(a); err == nil {
+			t.Errorf("%s: Register accepted a malformed descriptor", c.label)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register(testAlgorithm("t-dup")); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	if err := Register(testAlgorithm("t-dup")); err == nil {
+		t.Fatal("second Register of the same name succeeded")
+	}
+}
+
+func TestAllSortedByName(t *testing.T) {
+	MustRegister(testAlgorithm("t-sort-b"))
+	MustRegister(testAlgorithm("t-sort-a"))
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatalf("All() not strictly sorted: %q before %q", all[i-1].Name, all[i].Name)
+		}
+	}
+}
+
+func TestValidSizeTypedError(t *testing.T) {
+	a := testAlgorithm("t-sizeerr")
+	err := a.ValidSize(6)
+	if err == nil {
+		t.Fatal("ValidSize accepted 6")
+	}
+	var se *SizeError
+	if !errors.As(err, &se) {
+		t.Fatalf("ValidSize error is %T, want *SizeError", err)
+	}
+	if se.Algorithm != "t-sizeerr" || se.N != 6 {
+		t.Errorf("SizeError fields: %+v", se)
+	}
+	if !strings.Contains(err.Error(), "a power of two >= 2") {
+		t.Errorf("SizeError does not surface the size doc: %q", err)
+	}
+	if err := a.ValidSize(8); err != nil {
+		t.Errorf("ValidSize rejected a valid size: %v", err)
+	}
+	// Run validates before executing.
+	if _, err := a.Run(context.Background(), Spec{}, 6); !errors.As(err, &se) {
+		t.Errorf("Run did not surface the SizeError: %v", err)
+	}
+}
+
+func TestValidators(t *testing.T) {
+	p2 := PowerOfTwo(2)
+	for _, n := range []int{2, 4, 1024} {
+		if err := p2(n); err != nil {
+			t.Errorf("PowerOfTwo(2)(%d): %v", n, err)
+		}
+	}
+	for _, n := range []int{-4, 0, 1, 3, 6, 1000} {
+		if err := p2(n); err == nil {
+			t.Errorf("PowerOfTwo(2)(%d) accepted", n)
+		}
+	}
+	sq := SquareOfPowerOfTwo(4)
+	for _, n := range []int{4, 16, 64, 1024} {
+		if err := sq(n); err != nil {
+			t.Errorf("SquareOfPowerOfTwo(4)(%d): %v", n, err)
+		}
+	}
+	for _, n := range []int{-1, 0, 1, 2, 8, 32, 100} {
+		if err := sq(n); err == nil {
+			t.Errorf("SquareOfPowerOfTwo(4)(%d) accepted", n)
+		}
+	}
+}
+
+func TestDefaultSizesIsACopy(t *testing.T) {
+	MustRegister(testAlgorithm("t-copy"))
+	a, _ := ByName("t-copy")
+	s := a.DefaultSizes()
+	s[0] = -999
+	b, _ := ByName("t-copy")
+	if b.DefaultSizes()[0] == -999 {
+		t.Fatal("mutating DefaultSizes() leaked into the registry")
+	}
+}
+
+// TestLookupAllocationFree is the benchmark-backed regression test for
+// the registry-churn fix: the old harness registry rebuilt and re-sorted
+// the whole descriptor slice on every lookup and every listing — both
+// called per service request.  The new read path must not allocate.
+func TestLookupAllocationFree(t *testing.T) {
+	MustRegister(testAlgorithm("t-alloc"))
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, ok := ByName("t-alloc"); !ok {
+			t.Fatal("lookup failed")
+		}
+	}); avg != 0 {
+		t.Errorf("ByName allocates %.1f objects per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if len(All()) == 0 {
+			t.Fatal("empty listing")
+		}
+	}); avg != 0 {
+		t.Errorf("All allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			MustRegister(testAlgorithm(fmt.Sprintf("t-conc-%02d", i)))
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			All()
+			ByName("t-conc-25")
+		}
+	}
+}
+
+func BenchmarkByName(b *testing.B) {
+	_ = Register(testAlgorithm("t-bench-byname"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ByName("t-bench-byname"); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkAll(b *testing.B) {
+	_ = Register(testAlgorithm("t-bench-all"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(All()) == 0 {
+			b.Fatal("empty listing")
+		}
+	}
+}

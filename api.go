@@ -36,6 +36,16 @@
 //     caches with single-flight dedup.  `nobl remote` targets a shared
 //     daemon from the CLI.
 //
+// The public algorithm API lives in the netoblivious/alg subpackage: a
+// unified run configuration (alg.Spec), a typed Algorithm descriptor
+// (name, docs, size constraint, default sizes, run entry point) and an
+// open registry (alg.Register / alg.ByName / alg.All) that the built-in
+// paper algorithms self-register into.  A user-defined algorithm
+// registered there flows through every surface — the trace store, the
+// experiment harness, `nobl trace`, `nobl algorithms`, and the nobld
+// service — with no change to any of them.  See examples/custom-algorithm
+// for a complete walkthrough.
+//
 // This root package re-exports the types a downstream user needs to write
 // and analyze their own network-oblivious algorithms without importing
 // internal paths directly in examples or docs.  See examples/quickstart
@@ -43,9 +53,19 @@
 package netoblivious
 
 import (
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 	"netoblivious/internal/dbsp"
 	"netoblivious/internal/eval"
+
+	// Register the paper's built-in algorithms so alg.All() is fully
+	// populated for any importer of this package.
+	_ "netoblivious/internal/broadcast"
+	_ "netoblivious/internal/colsort"
+	_ "netoblivious/internal/fft"
+	_ "netoblivious/internal/matmul"
+	_ "netoblivious/internal/prefix"
+	_ "netoblivious/internal/stencil"
 )
 
 // VP is a virtual processor handle of the specification model M(v).
@@ -101,6 +121,36 @@ func DefaultEngine() Engine { return core.DefaultEngine() }
 // SetDefaultEngine changes the process-wide default engine and returns
 // the previous one.
 func SetDefaultEngine(e Engine) Engine { return core.SetDefaultEngine(e) }
+
+// Algorithm is a typed descriptor of one runnable network-oblivious
+// algorithm: metadata (name, docs, size constraint, default sizes) plus
+// the executable Run entry point.  See the netoblivious/alg package.
+type Algorithm = alg.Algorithm
+
+// Spec is the unified run configuration every algorithm entry point
+// accepts: execution engine, message recording, wiseness dummies and
+// cancellation context.
+type Spec = alg.Spec
+
+// AlgResult is what running a registered algorithm yields: the trace
+// plus optional run metadata.
+type AlgResult = alg.Result
+
+// SizeError is the typed error a size-constraint violation produces; it
+// carries the algorithm's size doc for every surface to render.
+type SizeError = alg.SizeError
+
+// RegisterAlgorithm adds a user-defined algorithm to the open registry,
+// making it traceable, analyzable and listable by every surface in the
+// repository.
+func RegisterAlgorithm(a Algorithm) error { return alg.Register(a) }
+
+// AlgorithmByName looks up a registered algorithm (map-backed).
+func AlgorithmByName(name string) (Algorithm, bool) { return alg.ByName(name) }
+
+// Algorithms returns every registered algorithm sorted by name; treat
+// the slice as read-only.
+func Algorithms() []Algorithm { return alg.All() }
 
 // Folding is the (F_i, S_i) view of an algorithm folded on p processors.
 type Folding = eval.Folding

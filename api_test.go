@@ -1,6 +1,7 @@
 package netoblivious_test
 
 import (
+	"errors"
 	"testing"
 
 	nob "netoblivious"
@@ -61,5 +62,37 @@ func TestFacadeRecordOption(t *testing.T) {
 	}
 	if len(tr.Steps[0].Pairs) != 4 {
 		t.Errorf("pairs = %d, want 4", len(tr.Steps[0].Pairs))
+	}
+}
+
+// TestRootRegistryReExports asserts that importing the root package alone
+// is enough to see the paper's built-in algorithms in the open registry
+// (the root package blank-imports their packages), and that a lookup
+// through the re-exported API can run one.
+func TestRootRegistryReExports(t *testing.T) {
+	all := nob.Algorithms()
+	names := map[string]bool{}
+	for _, a := range all {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"matmul", "fft", "sort", "stencil1", "broadcast-tree", "prefix-tree"} {
+		if !names[want] {
+			t.Errorf("built-in %q not visible through the root package", want)
+		}
+	}
+	a, ok := nob.AlgorithmByName("fft")
+	if !ok {
+		t.Fatal("AlgorithmByName(fft) failed")
+	}
+	run, err := a.Run(t.Context(), nob.Spec{}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Trace == nil || run.Trace.V != 64 {
+		t.Fatalf("unexpected run result %+v", run)
+	}
+	var se *nob.SizeError
+	if err := a.ValidSize(65); !errors.As(err, &se) {
+		t.Errorf("ValidSize(65) = %v, want a *SizeError", err)
 	}
 }

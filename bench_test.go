@@ -412,7 +412,7 @@ func BenchmarkAblationSortShape(b *testing.B) {
 			var res *colsort.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				res, err = colsort.Sort(keys, colsort.Options{Wise: true, BaseSize: base})
+				res, err = colsort.SortBase(keys, base, colsort.Options{Wise: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -437,7 +437,7 @@ func BenchmarkAblationStencilK(b *testing.B) {
 			var res *stencil.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				res, err = stencil.Run(n, 1, in, stencil.Options{Wise: true, K: k})
+				res, err = stencil.RunK(n, 1, k, in, stencil.Options{Wise: true})
 				if err != nil {
 					b.Fatal(err)
 				}

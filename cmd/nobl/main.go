@@ -42,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 	"netoblivious/internal/dbsp"
 	"netoblivious/internal/eval"
@@ -101,6 +102,7 @@ func main() {
 	case "algorithms":
 		for _, a := range harness.TraceAlgorithms() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s   sizes: %s (defaults %s)\n", "", a.SizeDoc, formatSizes(a.DefaultSizes()))
 		}
 	case "trace":
 		runTrace(engine, args[1:])
@@ -164,6 +166,9 @@ func runRemote(f harness.Format, args []string) int {
 		}
 		for _, a := range resp.Algorithms {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			if a.SizeDoc != "" {
+				fmt.Printf("%-16s   sizes: %s (defaults %s)\n", "", a.SizeDoc, formatSizes(a.DefaultSizes))
+			}
 		}
 		fmt.Printf("kinds: %v (engine %s)\n", resp.Kinds, resp.Engine)
 		fmt.Printf("topologies: %v; strategies: %v\n", resp.Topologies, resp.Strategies)
@@ -524,12 +529,18 @@ func runTrace(engine core.Engine, args []string) {
 		fmt.Fprintln(os.Stderr, "nobl trace: need exactly one algorithm name (see 'nobl algorithms')")
 		os.Exit(2)
 	}
-	alg, ok := harness.TraceAlgorithmByName(name)
+	a, ok := harness.TraceAlgorithmByName(name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "nobl trace: unknown algorithm %q\n", name)
+		fmt.Fprintf(os.Stderr, "nobl trace: unknown algorithm %q (see 'nobl algorithms')\n", name)
 		os.Exit(1)
 	}
-	run, err := alg.Run(context.Background(), engine, *n, false)
+	// Validate the size before running anything, so a bad -n fails in
+	// microseconds with the algorithm's own size doc.
+	if err := a.ValidSize(*n); err != nil {
+		fmt.Fprintf(os.Stderr, "nobl trace: %v\nusage: nobl trace %s -n N; run 'nobl algorithms' for size constraints\n", err, a.Name)
+		os.Exit(2)
+	}
+	run, err := a.Run(context.Background(), alg.Spec{Engine: engine}, *n)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
 		os.Exit(1)
@@ -550,7 +561,16 @@ func runTrace(engine core.Engine, args []string) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "nobl: %s on M(%d): %d supersteps, %d messages\n",
-		alg.Name, tr.V, tr.NumSupersteps(), tr.TotalMessages())
+		a.Name, tr.V, tr.NumSupersteps(), tr.TotalMessages())
+}
+
+// formatSizes renders a default-size ladder compactly.
+func formatSizes(sizes []int) string {
+	parts := make([]string, len(sizes))
+	for i, n := range sizes {
+		parts[i] = fmt.Sprint(n)
+	}
+	return strings.Join(parts, ", ")
 }
 
 func runStat(args []string) {

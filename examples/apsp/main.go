@@ -55,7 +55,7 @@ func main() {
 	var lastTrace *nob.Trace
 	rounds := 0
 	for m := 1; m < s; m *= 2 {
-		res, err := matmul.Multiply(s, cur, cur, matmul.Options{Wise: true, Semiring: &tro})
+		res, err := matmul.MultiplySemiring(s, cur, cur, tro, matmul.Options{Wise: true})
 		if err != nil {
 			log.Fatal(err)
 		}

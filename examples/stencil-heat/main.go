@@ -50,7 +50,7 @@ func main() {
 	fmt.Println("\nrecursion-degree ablation (k is the paper's 2^⌈√log n⌉ by default):")
 	fmt.Printf("%-6s %-14s %-14s\n", "k", "H(n,16,0)", "supersteps")
 	for _, kk := range []int{2, 4, k, 16} {
-		r, err := stencil.Run(n, 1, in, stencil.Options{K: kk})
+		r, err := stencil.RunK(n, 1, kk, in, stencil.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -19,10 +19,10 @@
 package broadcast
 
 import (
-	"context"
 	"fmt"
 	"math"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
@@ -37,20 +37,10 @@ type Result struct {
 	Kappa int
 }
 
-// Options configures the oblivious runs.
-type Options struct {
-	Record bool
-	// Engine selects the core execution engine; nil uses the default.
-	Engine core.Engine
-	// Ctx cancels the specification-model run at superstep granularity;
-	// nil disables cancellation.
-	Ctx context.Context
-}
-
-// runOpts translates Options into the core run options.
-func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
-}
+// Options is the unified run configuration (engine, recording,
+// cancellation; the broadcast algorithms have no wise variant and ignore
+// Spec.Wise).
+type Options = alg.Spec
 
 func checkV(v int) error {
 	if v < 2 || v&(v-1) != 0 {
@@ -92,7 +82,7 @@ func Oblivious(v int, value int64, opts Options) (*Result, error) {
 		}
 		got[vp.ID()] = val
 	}
-	tr, err := core.RunOpt(v, prog, opts.runOpts())
+	tr, err := core.RunOpt(v, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +114,7 @@ func ObliviousFlat(v int, value int64, opts Options) (*Result, error) {
 		}
 		got[vp.ID()] = val
 	}
-	tr, err := core.RunOpt(v, prog, opts.runOpts())
+	tr, err := core.RunOpt(v, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +173,7 @@ func Aware(p int, sigma float64, value int64, opts Options) (*Result, error) {
 		}
 		got[vp.ID()] = val
 	}
-	tr, err := core.RunOpt(p, prog, opts.runOpts())
+	tr, err := core.RunOpt(p, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}

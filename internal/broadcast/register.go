@@ -1,0 +1,24 @@
+package broadcast
+
+import (
+	"context"
+
+	"netoblivious/alg"
+)
+
+func init() {
+	alg.MustRegister(alg.Algorithm{
+		Name:    "broadcast-tree",
+		Doc:     "oblivious binary-tree n-broadcast (§4.5)",
+		SizeDoc: "a power of two >= 2",
+		Sizes:   []int{2, 8, 64, 1024},
+		Valid:   alg.PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			r, err := Oblivious(n, 1, spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace}, nil
+		},
+	})
+}

@@ -65,7 +65,7 @@ func SortBitonic(keys []int64, opts Options) (*Result, error) {
 		}
 		out[id] = me.key
 	}
-	tr, err := core.RunOpt(n, prog, opts.runOpts())
+	tr, err := core.RunOpt(n, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}

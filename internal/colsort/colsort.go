@@ -26,34 +26,16 @@
 package colsort
 
 import (
-	"context"
 	"fmt"
 	"sort"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
-// Options configures a sort run.
-type Options struct {
-	// Wise adds the paper's dummy messages (Section 4.3).
-	Wise bool
-	// Record enables message-pair recording.
-	Record bool
-	// BaseSize is the largest segment sorted by the brute-force
-	// all-gather base case; it must be at least 8 (segments of size 8 or
-	// smaller cannot be split into a valid r×s shape).  0 means 8.
-	BaseSize int
-	// Engine selects the core execution engine; nil uses the default.
-	Engine core.Engine
-	// Ctx cancels the specification-model run at superstep granularity;
-	// nil disables cancellation.
-	Ctx context.Context
-}
-
-// runOpts translates Options into the core run options.
-func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
-}
+// Options is the unified run configuration (engine, recording, wiseness
+// dummies, cancellation).
+type Options = alg.Spec
 
 // Result carries the sorted keys and the communication trace.
 type Result struct {
@@ -92,18 +74,26 @@ func Shape(size int) (r, s int) {
 	return size / s, s
 }
 
-// Sort runs the network-oblivious Columnsort on M(n), n = len(keys).
+// Sort runs the network-oblivious Columnsort on M(n), n = len(keys),
+// with the default brute-force base-case size of 8.
 func Sort(keys []int64, opts Options) (*Result, error) {
+	return SortBase(keys, 0, opts)
+}
+
+// SortBase is Sort with an explicit base-case size: segments of at most
+// base VPs sort by the all-gather brute-force pass.  base must be at
+// least 8 (smaller segments cannot be split into a valid r×s shape);
+// 0 means 8.  The knob exists for the base-case ablation benchmarks.
+func SortBase(keys []int64, base int, opts Options) (*Result, error) {
 	n := len(keys)
 	if n < 1 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("colsort: input length %d must be a positive power of two", n)
 	}
-	base := opts.BaseSize
 	if base == 0 {
 		base = 8
 	}
 	if base < 8 {
-		return nil, fmt.Errorf("colsort: BaseSize %d must be >= 8", base)
+		return nil, fmt.Errorf("colsort: base size %d must be >= 8", base)
 	}
 	out := make([]int64, n)
 	prog := func(vp *core.VP[kv]) {
@@ -111,7 +101,7 @@ func Sort(keys []int64, opts Options) (*Result, error) {
 		me = sortRec(vp, 0, vp.V(), me, opts.Wise, base)
 		out[vp.ID()] = me.key
 	}
-	tr, err := core.RunOpt(n, prog, opts.runOpts())
+	tr, err := core.RunOpt(n, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}

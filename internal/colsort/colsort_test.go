@@ -221,7 +221,7 @@ func TestValidation(t *testing.T) {
 	if _, err := Sort(make([]int64, 3), Options{}); err == nil {
 		t.Error("want error for n=3")
 	}
-	if _, err := Sort(make([]int64, 16), Options{BaseSize: 4}); err == nil {
+	if _, err := SortBase(make([]int64, 16), 4, Options{}); err == nil {
 		t.Error("want error for BaseSize < 8")
 	}
 }

@@ -1,0 +1,51 @@
+package colsort
+
+import (
+	"context"
+	"math/rand"
+
+	"netoblivious/alg"
+)
+
+// randKeys draws the deterministic registry input.
+func randKeys(rng *rand.Rand, n int) []int64 {
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63()
+	}
+	return keys
+}
+
+// The registry descriptors pin Wise (see the matmul registration note).
+func init() {
+	alg.MustRegister(alg.Algorithm{
+		Name:    "sort",
+		Doc:     "recursive Columnsort (§4.3)",
+		SizeDoc: "a power of two >= 2",
+		Sizes:   []int{2, 8, 64, 1024},
+		Valid:   alg.PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			spec.Wise = true
+			r, err := Sort(randKeys(alg.SeededRand(), n), spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace}, nil
+		},
+	})
+	alg.MustRegister(alg.Algorithm{
+		Name:    "bitonic",
+		Doc:     "Batcher's bitonic network (E13 baseline)",
+		SizeDoc: "a power of two >= 2",
+		Sizes:   []int{2, 8, 64, 1024},
+		Valid:   alg.PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			spec.Wise = true
+			r, err := SortBitonic(randKeys(alg.SeededRand(), n), spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace}, nil
+		},
+	})
+}

@@ -23,33 +23,18 @@
 package fft
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"math/bits"
 	"math/cmplx"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
-// Options configures a transform run.
-type Options struct {
-	// Wise adds the paper's dummy messages (Section 4.2) making the
-	// algorithm (Θ(1), n)-wise.
-	Wise bool
-	// Record enables message-pair recording.
-	Record bool
-	// Engine selects the core execution engine; nil uses the default.
-	Engine core.Engine
-	// Ctx cancels the specification-model run at superstep granularity;
-	// nil disables cancellation.
-	Ctx context.Context
-}
-
-// runOpts translates Options into the core run options.
-func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
-}
+// Options is the unified run configuration (engine, recording, wiseness
+// dummies, cancellation).
+type Options = alg.Spec
 
 // Result carries the transform output and the communication trace.
 type Result struct {
@@ -127,7 +112,7 @@ func Transform(x []complex128, opts Options) (*Result, error) {
 	prog := func(vp *core.VP[complex128]) {
 		out[vp.ID()] = fftRec(vp, 0, n, x[vp.ID()], opts.Wise)
 	}
-	tr, err := core.RunOpt(n, prog, opts.runOpts())
+	tr, err := core.RunOpt(n, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +255,7 @@ func TransformIterative(x []complex128, opts Options) (*Result, error) {
 			out[w] = got
 		}
 	}
-	tr, err := core.RunOpt(n, prog, opts.runOpts())
+	tr, err := core.RunOpt(n, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}

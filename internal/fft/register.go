@@ -1,0 +1,51 @@
+package fft
+
+import (
+	"context"
+	"math/rand"
+
+	"netoblivious/alg"
+)
+
+// randComplex draws the deterministic registry input.
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64(), 0)
+	}
+	return x
+}
+
+// The registry descriptors pin Wise (see the matmul registration note).
+func init() {
+	alg.MustRegister(alg.Algorithm{
+		Name:    "fft",
+		Doc:     "recursive n-FFT (§4.2)",
+		SizeDoc: "a power of two >= 2",
+		Sizes:   []int{2, 8, 64, 1024},
+		Valid:   alg.PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			spec.Wise = true
+			r, err := Transform(randComplex(alg.SeededRand(), n), spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace}, nil
+		},
+	})
+	alg.MustRegister(alg.Algorithm{
+		Name:    "fft-iterative",
+		Doc:     "butterfly baseline FFT (§4.2 discussion)",
+		SizeDoc: "a power of two >= 2",
+		Sizes:   []int{2, 8, 64, 1024},
+		Valid:   alg.PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			spec.Wise = true
+			r, err := TransformIterative(randComplex(alg.SeededRand(), n), spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace}, nil
+		},
+	})
+}

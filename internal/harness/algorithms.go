@@ -1,188 +1,30 @@
 package harness
 
 import (
-	"context"
-	"fmt"
-	"sort"
+	"netoblivious/alg"
 
-	"netoblivious/internal/broadcast"
-	"netoblivious/internal/colsort"
-	"netoblivious/internal/core"
-	"netoblivious/internal/fft"
-	"netoblivious/internal/matmul"
-	"netoblivious/internal/prefix"
-	"netoblivious/internal/stencil"
+	// The paper's built-in algorithms self-register into the open alg
+	// registry from their own packages; the blank imports guarantee the
+	// full set is present for every harness consumer even if no
+	// experiment file links a package in directly.
+	_ "netoblivious/internal/broadcast"
+	_ "netoblivious/internal/colsort"
+	_ "netoblivious/internal/fft"
+	_ "netoblivious/internal/matmul"
+	_ "netoblivious/internal/prefix"
+	_ "netoblivious/internal/stencil"
 )
 
-// TraceAlgorithm runs a named algorithm at a given input size and returns
-// its communication trace — the registry behind `nobl trace` and the keyed
-// TraceStore.  Every entry derives its input from its own fixed-seed RNG,
-// so a run is a pure function of (engine, n): the property that makes the
-// store's (algorithm, n, engine) keying sound.
-type TraceAlgorithm struct {
-	Name string
-	// Doc describes the algorithm and how n is interpreted.
-	Doc string
-	// Run executes the algorithm on a deterministic input of size n,
-	// on the given execution engine (nil selects the default).  The
-	// engine is passed explicitly — never through the process-wide
-	// default — so concurrent runs with different engines cannot race.
-	// ctx cancels the run at superstep granularity (nil disables);
-	// record enables message-pair recording in the trace, which the
-	// cache-simulation analyses require and everything else skips.
-	Run func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error)
-}
+// TraceAlgorithm is a runnable algorithm descriptor — the open alg
+// registry's type.  Every entry derives its input from its own fixed
+// seed, so a run is a pure function of (engine, n): the property that
+// makes the trace store's (algorithm, n, engine) keying sound.
+type TraceAlgorithm = alg.Algorithm
 
-// TraceAlgorithms returns the runnable algorithm registry, sorted by name.
-func TraceAlgorithms() []TraceAlgorithm {
-	algos := []TraceAlgorithm{
-		{
-			Name: "matmul",
-			Doc:  "8-way recursive n-MM (§4.1); n = matrix entries (side² = n, power of 4)",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				s, err := sideOf(n)
-				if err != nil {
-					return AlgRun{}, err
-				}
-				rng := seededRng()
-				r, err := matmul.Multiply(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace, PeakEntries: r.PeakEntries}, nil
-			},
-		},
-		{
-			Name: "matmul-space",
-			Doc:  "space-efficient n-MM (§4.1.1); n = matrix entries",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				s, err := sideOf(n)
-				if err != nil {
-					return AlgRun{}, err
-				}
-				rng := seededRng()
-				r, err := matmul.MultiplySpaceEfficient(s, randMatrix(rng, s), randMatrix(rng, s), matmul.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace, PeakEntries: r.PeakEntries}, nil
-			},
-		},
-		{
-			Name: "fft",
-			Doc:  "recursive n-FFT (§4.2)",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				r, err := fft.Transform(randComplex(seededRng(), n), fft.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace}, nil
-			},
-		},
-		{
-			Name: "fft-iterative",
-			Doc:  "butterfly baseline FFT (§4.2 discussion)",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				r, err := fft.TransformIterative(randComplex(seededRng(), n), fft.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace}, nil
-			},
-		},
-		{
-			Name: "sort",
-			Doc:  "recursive Columnsort (§4.3)",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				r, err := colsort.Sort(randKeys(seededRng(), n), colsort.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace}, nil
-			},
-		},
-		{
-			Name: "bitonic",
-			Doc:  "Batcher's bitonic network (E13 baseline)",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				r, err := colsort.SortBitonic(randKeys(seededRng(), n), colsort.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace}, nil
-			},
-		},
-		{
-			Name: "stencil1",
-			Doc:  "(n,1)-stencil diamond recursion (§4.4.1); n = spatial side",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				r, err := stencil.Run(n, 1, randCells(seededRng(), n), stencil.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace}, nil
-			},
-		},
-		{
-			Name: "stencil2",
-			Doc:  "(n,2)-stencil octahedral recursion (§4.4.2); n = spatial side, v = n²",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				r, err := stencil.Run(n, 2, randCells(seededRng(), n*n), stencil.Options{Wise: true, Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace}, nil
-			},
-		},
-		{
-			Name: "broadcast-tree",
-			Doc:  "oblivious binary-tree n-broadcast (§4.5)",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				r, err := broadcast.Oblivious(n, 1, broadcast.Options{Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace}, nil
-			},
-		},
-		{
-			Name: "prefix-tree",
-			Doc:  "work-efficient prefix sums (§5 substrate)",
-			Run: func(ctx context.Context, eng core.Engine, n int, record bool) (AlgRun, error) {
-				rng := seededRng()
-				xs := make([]int64, n)
-				for i := range xs {
-					xs[i] = int64(rng.Intn(1000))
-				}
-				r, err := prefix.ScanTree(xs, prefix.Sum(), prefix.Options{Engine: eng, Record: record, Ctx: ctx})
-				if err != nil {
-					return AlgRun{}, err
-				}
-				return AlgRun{Trace: r.Trace}, nil
-			},
-		},
-	}
-	sort.Slice(algos, func(i, j int) bool { return algos[i].Name < algos[j].Name })
-	return algos
-}
+// TraceAlgorithms returns the runnable algorithm registry sorted by name
+// — built-ins plus anything the process registered through alg.Register.
+// The slice is a shared read-only snapshot; it is not rebuilt per call.
+func TraceAlgorithms() []TraceAlgorithm { return alg.All() }
 
-// TraceAlgorithmByName looks up a registry entry.
-func TraceAlgorithmByName(name string) (TraceAlgorithm, bool) {
-	for _, a := range TraceAlgorithms() {
-		if a.Name == name {
-			return a, true
-		}
-	}
-	return TraceAlgorithm{}, false
-}
-
-func sideOf(n int) (int, error) {
-	s := 1
-	for s*s < n {
-		s *= 2
-	}
-	if s*s != n {
-		return 0, fmt.Errorf("harness: n=%d is not the square of a power of two", n)
-	}
-	return s, nil
-}
+// TraceAlgorithmByName looks up a registry entry (map-backed; O(1)).
+func TraceAlgorithmByName(name string) (TraceAlgorithm, bool) { return alg.ByName(name) }

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryContract asserts the invariants every registered algorithm
+// — built-in or user-supplied — must satisfy for the analysis surfaces
+// to serve it: unique well-formed names, non-empty documentation, a
+// non-empty default size ladder whose every entry the algorithm's own
+// ValidSize accepts, and a size doc to render alongside size errors.
+func TestRegistryContract(t *testing.T) {
+	algos := TraceAlgorithms()
+	if len(algos) < 10 {
+		t.Fatalf("registry has %d algorithms; the paper's built-ins alone are 10", len(algos))
+	}
+	seen := map[string]bool{}
+	for _, a := range algos {
+		if a.Name == "" || strings.ContainsAny(a.Name, "/@ \t\n") {
+			t.Errorf("malformed name %q", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("%s: empty Doc", a.Name)
+		}
+		if a.SizeDoc == "" {
+			t.Errorf("%s: empty SizeDoc", a.Name)
+		}
+		sizes := a.DefaultSizes()
+		if len(sizes) == 0 {
+			t.Errorf("%s: no default sizes", a.Name)
+			continue
+		}
+		for i, n := range sizes {
+			if err := a.ValidSize(n); err != nil {
+				t.Errorf("%s: rejects its own default size %d: %v", a.Name, n, err)
+			}
+			if i > 0 && sizes[i-1] >= n {
+				t.Errorf("%s: default sizes not ascending: %v", a.Name, sizes)
+			}
+		}
+	}
+	for _, name := range []string{
+		"bitonic", "broadcast-tree", "fft", "fft-iterative", "matmul",
+		"matmul-space", "prefix-tree", "sort", "stencil1", "stencil2",
+	} {
+		if !seen[name] {
+			t.Errorf("built-in algorithm %q missing from the registry", name)
+		}
+	}
+}
+
+// TestRegistryLookupAllocationFree is the benchmark-backed regression
+// test for the registry-churn fix: TraceAlgorithms once rebuilt and
+// re-sorted the whole closure slice per call and TraceAlgorithmByName
+// linear-scanned a fresh copy — both on the service's per-request
+// validation path.  Neither may allocate now.
+func TestRegistryLookupAllocationFree(t *testing.T) {
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, ok := TraceAlgorithmByName("matmul"); !ok {
+			t.Fatal("matmul missing")
+		}
+	}); avg != 0 {
+		t.Errorf("TraceAlgorithmByName allocates %.1f objects per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if len(TraceAlgorithms()) == 0 {
+			t.Fatal("empty registry")
+		}
+	}); avg != 0 {
+		t.Errorf("TraceAlgorithms allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func BenchmarkTraceAlgorithmByName(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := TraceAlgorithmByName("stencil2"); !ok {
+			b.Fatal("stencil2 missing")
+		}
+	}
+}
+
+func BenchmarkTraceAlgorithms(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(TraceAlgorithms()) == 0 {
+			b.Fatal("empty registry")
+		}
+	}
+}

@@ -5,55 +5,58 @@ import (
 	"context"
 	"testing"
 
+	"netoblivious/alg"
 	"netoblivious/internal/colsort"
 	"netoblivious/internal/core"
 	"netoblivious/internal/tracetest"
 )
 
-// TestEngineEquivalenceAllAlgorithms runs every registry algorithm on both
-// execution engines across a ladder of machine sizes and asserts
-// byte-identical traces: the BlockEngine must be a drop-in replacement for
-// the reference GoroutineEngine on every real workload in the repository.
-// The engine reaches the algorithms through the threaded option — never
-// the process-wide default — so the comparisons can themselves run under
-// a racing test schedule safely.
-func TestEngineEquivalenceAllAlgorithms(t *testing.T) {
-	sizes := map[string][]int{
-		// n must be the square of a power of two for the matmul family.
-		"matmul":       {4, 16, 64, 1024},
-		"matmul-space": {4, 16, 64, 1024},
-		// v = n² for the 2D stencil; keep the machine at or below 4096 VPs.
-		"stencil2": {2, 8, 64},
-	}
-	defaultSizes := []int{2, 8, 64, 1024}
+// The test registers its own algorithm through the public API before the
+// equivalence sweep runs, proving the registry is open: the sweep below
+// iterates the registry and never names it.
+func init() {
+	alg.MustRegister(alg.Algorithm{
+		Name:    "zz-test-rotate",
+		Doc:     "test-only ring rotation: VP i sends to (i+1) mod v each superstep",
+		SizeDoc: "a power of two >= 2",
+		Sizes:   []int{4, 16, 64},
+		Valid:   alg.PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			tr, err := core.RunOpt(n, func(vp *core.VP[int]) {
+				for r := 0; r < 3; r++ {
+					vp.Send((vp.ID()+1)%n, vp.ID())
+					vp.Sync(0)
+					vp.Receive()
+				}
+			}, spec.RunOptions())
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: tr}, nil
+		},
+	})
+}
 
-	for _, alg := range TraceAlgorithms() {
-		ns, ok := sizes[alg.Name]
-		if !ok {
-			ns = defaultSizes
-		}
-		if testing.Short() {
+// TestEngineEquivalenceAllAlgorithms runs every registry algorithm — the
+// built-ins plus anything registered through the open alg API, such as
+// the rotation fixture above — on both execution engines across each
+// algorithm's own default size ladder and asserts byte-identical traces:
+// the BlockEngine must be a drop-in replacement for the reference
+// GoroutineEngine on every workload that can reach the registry.  The
+// engine reaches the algorithms through the threaded spec — never the
+// process-wide default — so the comparisons can themselves run under a
+// racing test schedule safely.
+func TestEngineEquivalenceAllAlgorithms(t *testing.T) {
+	if _, ok := TraceAlgorithmByName("zz-test-rotate"); !ok {
+		t.Fatal("registry is not open: the test-registered algorithm is missing")
+	}
+	for _, a := range TraceAlgorithms() {
+		ns := a.DefaultSizes()
+		if testing.Short() && len(ns) > 2 {
 			ns = ns[:len(ns)-1] // drop the largest size under -short
 		}
-		compared := 0
-		for _, n := range ns {
-			ref, refErr := alg.Run(context.Background(), core.GoroutineEngine{}, n, false)
-			got, gotErr := alg.Run(context.Background(), core.BlockEngine{}, n, false)
-			if (refErr != nil) != (gotErr != nil) {
-				t.Errorf("%s n=%d: engines disagree on validity: goroutine=%v block=%v", alg.Name, n, refErr, gotErr)
-				continue
-			}
-			if refErr != nil {
-				continue // size invalid for this algorithm on both engines
-			}
-			if !bytes.Equal(tracetest.Canonical(t, ref.Trace), tracetest.Canonical(t, got.Trace)) {
-				t.Errorf("%s n=%d: BlockEngine trace differs from GoroutineEngine trace", alg.Name, n)
-				continue
-			}
-			compared++
-		}
-		if compared < 2 {
-			t.Errorf("%s: only %d sizes compared successfully; size ladder too restrictive", alg.Name, compared)
+		if compared := tracetest.EngineEquivalence(t, a, ns); compared < 2 {
+			t.Errorf("%s: only %d sizes compared successfully; default size ladder too restrictive", a.Name, compared)
 		}
 	}
 }

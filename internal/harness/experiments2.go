@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"netoblivious/alg"
 	"netoblivious/internal/colsort"
 	"netoblivious/internal/core"
 	"netoblivious/internal/dbsp"
@@ -291,7 +292,7 @@ func runE10(cfg Config) ([]*Result, error) {
 	rng := seededRng()
 	for trial := 0; trial < 5; trial++ {
 		spec := randalg.Random(rng, 32, 6, 3)
-		tr, err := spec.RunOpt(cfg.runOpts(false))
+		tr, err := spec.RunSpec(alg.Spec{Engine: cfg.engine(), Ctx: cfg.Context})
 		if err != nil {
 			return nil, err
 		}

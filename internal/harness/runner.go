@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
@@ -84,11 +85,11 @@ func (c Config) AlgRun(name string, n int) (AlgRun, error) {
 	if c.Store != nil {
 		return c.Store.Get(c.ctx(), c.engine(), name, n)
 	}
-	alg, ok := TraceAlgorithmByName(name)
+	a, ok := TraceAlgorithmByName(name)
 	if !ok {
 		return AlgRun{}, fmt.Errorf("harness: unknown algorithm %q", name)
 	}
-	return alg.Run(c.ctx(), c.engine(), n, false)
+	return a.Run(c.ctx(), alg.Spec{Engine: c.engine()}, n)
 }
 
 // Experiment couples an identifier with its runner.

@@ -5,18 +5,14 @@ import (
 	"errors"
 	"fmt"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
 // AlgRun bundles a registry algorithm's communication trace with the run
-// metadata some experiments report alongside it.
-type AlgRun struct {
-	// Trace is the recorded communication of the M(v) execution.
-	Trace *core.Trace
-	// PeakEntries is the peak per-VP matrix-entry count of the matmul
-	// family (its memory-blow-up metric); 0 for other algorithms.
-	PeakEntries int
-}
+// metadata some experiments report alongside it (the alg registry's
+// result type).
+type AlgRun = alg.Result
 
 // TraceStore memoizes registry-algorithm runs by (algorithm, n, engine).
 // The paper's algorithms are static — their communication depends only
@@ -66,7 +62,7 @@ func (ts *TraceStore) get(ctx context.Context, eng core.Engine, name string, n i
 	if eng == nil {
 		eng = core.DefaultEngine()
 	}
-	alg, ok := TraceAlgorithmByName(name)
+	a, ok := TraceAlgorithmByName(name)
 	if !ok {
 		return AlgRun{}, fmt.Errorf("harness: unknown algorithm %q", name)
 	}
@@ -75,7 +71,7 @@ func (ts *TraceStore) get(ctx context.Context, eng core.Engine, name string, n i
 		key += "+rec"
 	}
 	run, err := ts.store.Get(key, func() (AlgRun, error) {
-		return alg.Run(ctx, eng, n, record)
+		return a.Run(ctx, alg.Spec{Engine: eng, Record: record}, n)
 	})
 	if IsCancellation(err) {
 		// The computation died of a cancelled context: that outcome

@@ -19,9 +19,9 @@
 package matmul
 
 import (
-	"context"
 	"fmt"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
@@ -58,26 +58,10 @@ func Tropical() Semiring {
 	}
 }
 
-// Options configures a run.
-type Options struct {
-	// Wise adds the paper's dummy messages so the algorithm is
-	// (Θ(1), n)-wise (Section 4.1).  Defaults to true in Multiply*.
-	Wise bool
-	// Semiring defaults to Plus().
-	Semiring *Semiring
-	// Record enables message-pair recording in the trace.
-	Record bool
-	// Engine selects the core execution engine; nil uses the default.
-	Engine core.Engine
-	// Ctx cancels the specification-model run at superstep granularity;
-	// nil disables cancellation.
-	Ctx context.Context
-}
-
-// runOpts translates Options into the core run options.
-func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
-}
+// Options is the unified run configuration (engine, recording, wiseness
+// dummies, cancellation).  The semiring is an explicit argument of the
+// *Semiring entry points; the plain entry points use Plus().
+type Options = alg.Spec
 
 // Result carries the product and the communication trace of the run.
 type Result struct {
@@ -124,23 +108,21 @@ func validate(s int, a, b []int64) error {
 	return nil
 }
 
-func (o *Options) fill() {
-	if o.Semiring == nil {
-		sr := Plus()
-		o.Semiring = &sr
-	}
+// Multiply runs the recursive 8-way network-oblivious n-MM algorithm on
+// M(n), n = s², over the ordinary (+, ×, 0) semiring, and returns the
+// product together with its communication trace.  Input and output
+// matrices are evenly distributed: VP r holds A[r], B[r] and produces
+// C[r].
+func Multiply(s int, a, b []int64, opts Options) (*Result, error) {
+	return MultiplySemiring(s, a, b, Plus(), opts)
 }
 
-// Multiply runs the recursive 8-way network-oblivious n-MM algorithm on
-// M(n), n = s², and returns the product together with its communication
-// trace.  Input and output matrices are evenly distributed: VP r holds
-// A[r], B[r] and produces C[r].
-func Multiply(s int, a, b []int64, opts Options) (*Result, error) {
+// MultiplySemiring is Multiply over an arbitrary semiring (the class the
+// Section 4.1 lower bounds hold for — only Add/Mul, no inverses).
+func MultiplySemiring(s int, a, b []int64, sr Semiring, opts Options) (*Result, error) {
 	if err := validate(s, a, b); err != nil {
 		return nil, err
 	}
-	opts.fill()
-	sr := *opts.Semiring
 	n := s * s
 	c := make([]int64, n)
 	peaks := make([]int, n)
@@ -150,7 +132,7 @@ func Multiply(s int, a, b []int64, opts Options) (*Result, error) {
 		myC := w.rec8(0, vp.V(), s, []int64{a[vp.ID()]}, []int64{b[vp.ID()]})
 		c[vp.ID()] = myC[0]
 	}
-	tr, err := core.RunOpt(n, prog, opts.runOpts())
+	tr, err := core.RunOpt(n, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}

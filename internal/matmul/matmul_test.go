@@ -63,7 +63,7 @@ func TestMultiplyTropical(t *testing.T) {
 	for i := range a {
 		a[i] = int64(rng.Intn(50))
 	}
-	res, err := Multiply(s, a, a, Options{Semiring: &tro})
+	res, err := MultiplySemiring(s, a, a, tro, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,6 +74,11 @@ func shr(total, size, pos int) (lo, hi int) {
 // slice of each operand's row-major flattening (one entry per VP on the
 // leading VPs when an operand is smaller than the segment).
 func MultiplyRect(m, k, n, v int, a, b []int64, opts Options) (*RectResult, error) {
+	return MultiplyRectSemiring(m, k, n, v, a, b, Plus(), opts)
+}
+
+// MultiplyRectSemiring is MultiplyRect over an arbitrary semiring.
+func MultiplyRectSemiring(m, k, n, v int, a, b []int64, sr Semiring, opts Options) (*RectResult, error) {
 	for _, d := range []struct {
 		name string
 		val  int
@@ -88,8 +93,6 @@ func MultiplyRect(m, k, n, v int, a, b []int64, opts Options) (*RectResult, erro
 	if m*k*n < v {
 		return nil, fmt.Errorf("matmul: m·k·n = %d smaller than v = %d", m*k*n, v)
 	}
-	opts.fill()
-	sr := *opts.Semiring
 	c := make([]int64, m*n)
 
 	prog := func(vp *core.VP[payload]) {
@@ -102,7 +105,7 @@ func MultiplyRect(m, k, n, v int, a, b []int64, opts Options) (*RectResult, erro
 		cLo, cHi := shr(m*n, v, vp.ID())
 		copy(c[cLo:cHi], myC)
 	}
-	tr, err := core.RunOpt(v, prog, opts.runOpts())
+	tr, err := core.RunOpt(v, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}

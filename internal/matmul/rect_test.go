@@ -125,7 +125,7 @@ func TestMultiplyRectTropical(t *testing.T) {
 			b[i] = -b[i]
 		}
 	}
-	res, err := MultiplyRect(m, k, n, 32, a, b, Options{Semiring: &tro})
+	res, err := MultiplyRectSemiring(m, k, n, 32, a, b, tro, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

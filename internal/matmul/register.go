@@ -1,0 +1,58 @@
+package matmul
+
+import (
+	"context"
+	"math/rand"
+
+	"netoblivious/alg"
+)
+
+// registryMatrix draws the deterministic s×s registry input.
+func registryMatrix(rng *rand.Rand, s int) []int64 {
+	m := make([]int64, s*s)
+	for i := range m {
+		m[i] = int64(rng.Intn(100))
+	}
+	return m
+}
+
+// The registry descriptors pin Wise: the paper's algorithms are analyzed
+// in their (Θ(1), n)-wise form, and the trace store keys runs by
+// (algorithm, n, engine) only, so a registry run must not vary with the
+// caller's Wise flag.
+func init() {
+	alg.MustRegister(alg.Algorithm{
+		Name:    "matmul",
+		Doc:     "8-way recursive n-MM (§4.1); n = matrix entries (side² = n, power of 4)",
+		SizeDoc: "n = s² matrix entries with s a power of two: 4, 16, 64, 256, ...",
+		Sizes:   []int{4, 16, 64, 1024},
+		Valid:   alg.SquareOfPowerOfTwo(4),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			spec.Wise = true
+			s := alg.SquareSide(n)
+			rng := alg.SeededRand()
+			r, err := Multiply(s, registryMatrix(rng, s), registryMatrix(rng, s), spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace, PeakEntries: r.PeakEntries}, nil
+		},
+	})
+	alg.MustRegister(alg.Algorithm{
+		Name:    "matmul-space",
+		Doc:     "space-efficient n-MM (§4.1.1); n = matrix entries",
+		SizeDoc: "n = s² matrix entries with s a power of two: 4, 16, 64, 256, ...",
+		Sizes:   []int{4, 16, 64, 1024},
+		Valid:   alg.SquareOfPowerOfTwo(4),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			spec.Wise = true
+			s := alg.SquareSide(n)
+			rng := alg.SeededRand()
+			r, err := MultiplySpaceEfficient(s, registryMatrix(rng, s), registryMatrix(rng, s), spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace, PeakEntries: r.PeakEntries}, nil
+		},
+	})
+}

@@ -16,11 +16,15 @@ import (
 // responsible for output quadrant C_{hk} in both rounds; the A-quadrant it
 // consumes in round r is A_{h,l} with l = h⊕k⊕r.
 func MultiplySpaceEfficient(s int, a, b []int64, opts Options) (*Result, error) {
+	return MultiplySpaceEfficientSemiring(s, a, b, Plus(), opts)
+}
+
+// MultiplySpaceEfficientSemiring is MultiplySpaceEfficient over an
+// arbitrary semiring.
+func MultiplySpaceEfficientSemiring(s int, a, b []int64, sr Semiring, opts Options) (*Result, error) {
 	if err := validate(s, a, b); err != nil {
 		return nil, err
 	}
-	opts.fill()
-	sr := *opts.Semiring
 	n := s * s
 	c := make([]int64, n)
 	peaks := make([]int, n)
@@ -29,7 +33,7 @@ func MultiplySpaceEfficient(s int, a, b []int64, opts Options) (*Result, error) 
 		w := &worker{vp: vp, sr: sr, wise: opts.Wise, peak: &peaks[vp.ID()]}
 		c[vp.ID()] = w.rec4(0, vp.V(), s, a[vp.ID()], b[vp.ID()])
 	}
-	tr, err := core.RunOpt(n, prog, opts.runOpts())
+	tr, err := core.RunOpt(n, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}

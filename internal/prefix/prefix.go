@@ -16,9 +16,9 @@
 package prefix
 
 import (
-	"context"
 	"fmt"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
@@ -44,20 +44,9 @@ func Max() Op {
 	}, Identity: minInt64}
 }
 
-// Options configures a scan run.
-type Options struct {
-	Record bool
-	// Engine selects the core execution engine; nil uses the default.
-	Engine core.Engine
-	// Ctx cancels the specification-model run at superstep granularity;
-	// nil disables cancellation.
-	Ctx context.Context
-}
-
-// runOpts translates Options into the core run options.
-func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
-}
+// Options is the unified run configuration (engine, recording,
+// cancellation; the scans have no wise variant and ignore Spec.Wise).
+type Options = alg.Spec
 
 // Result carries the inclusive prefix and the trace.
 type Result struct {
@@ -116,7 +105,7 @@ func Scan(xs []int64, op Op, opts Options) (*Result, error) {
 		}
 		out[vp.ID()] = val
 	}
-	tr, err := core.RunOpt(v, prog, opts.runOpts())
+	tr, err := core.RunOpt(v, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +166,7 @@ func ScanTree(xs []int64, op Op, opts Options) (*Result, error) {
 		}
 		out[id] = op.Combine(before, xs[id])
 	}
-	tr, err := core.RunOpt(v, prog, opts.runOpts())
+	tr, err := core.RunOpt(v, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,29 @@
+package prefix
+
+import (
+	"context"
+
+	"netoblivious/alg"
+)
+
+func init() {
+	alg.MustRegister(alg.Algorithm{
+		Name:    "prefix-tree",
+		Doc:     "work-efficient prefix sums (§5 substrate)",
+		SizeDoc: "a power of two >= 2",
+		Sizes:   []int{2, 8, 64, 1024},
+		Valid:   alg.PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			rng := alg.SeededRand()
+			xs := make([]int64, n)
+			for i := range xs {
+				xs[i] = int64(rng.Intn(1000))
+			}
+			r, err := ScanTree(xs, Sum(), spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace}, nil
+		},
+	})
+}

@@ -8,6 +8,7 @@ package randalg
 import (
 	"math/rand"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
@@ -80,11 +81,11 @@ func (s Spec) Run() (*core.Trace, error) {
 	return core.Run(s.V, s.Program())
 }
 
-// RunOpt is Run with explicit core options (engine selection, message
-// recording), so callers running specs concurrently need not touch the
-// process-wide default engine.
-func (s Spec) RunOpt(opts core.Options) (*core.Trace, error) {
-	return core.RunOpt(s.V, s.Program(), opts)
+// RunSpec is Run with the unified run configuration (engine selection,
+// message recording, cancellation), so callers running specs concurrently
+// need not touch the process-wide default engine.
+func (s Spec) RunSpec(spec alg.Spec) (*core.Trace, error) {
+	return core.RunOpt(s.V, s.Program(), spec.RunOptions())
 }
 
 // ExpectedDegree computes, independently of the runtime, the degree

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"netoblivious/alg"
 	"netoblivious/internal/cachesim"
 	"netoblivious/internal/dbsp"
 	"netoblivious/internal/eval"
@@ -131,8 +132,16 @@ func (r *Request) normalize() error {
 		if r.Algorithm == "" {
 			return fmt.Errorf("kind %q needs an algorithm (see /v1/algorithms)", r.Kind)
 		}
-		if _, ok := harness.TraceAlgorithmByName(r.Algorithm); !ok {
+		a, ok := alg.ByName(r.Algorithm)
+		if !ok {
 			return fmt.Errorf("unknown algorithm %q (see /v1/algorithms)", r.Algorithm)
+		}
+		// Reject invalid sizes before any job is queued: the typed
+		// SizeError carries the algorithm's size doc to the client.  The
+		// n >= 2 floor only backstops descriptors with permissive
+		// predicates (a trace at n < 2 folds onto no machine).
+		if err := a.ValidSize(r.N); err != nil {
+			return err
 		}
 		if r.N < 2 {
 			return fmt.Errorf("kind %q needs n >= 2", r.Kind)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 	"netoblivious/internal/harness"
 	"netoblivious/internal/network"
@@ -102,10 +103,16 @@ type JobInfo struct {
 	Response *Response `json:"response,omitempty"`
 }
 
-// AlgorithmInfo is one GET /v1/algorithms entry.
+// AlgorithmInfo is one GET /v1/algorithms entry: the full descriptor
+// metadata of the open algorithm registry.
 type AlgorithmInfo struct {
 	Name string `json:"name"`
 	Doc  string `json:"doc"`
+	// SizeDoc states the size constraint in prose; requests with an n
+	// violating it are rejected with HTTP 400 before any job is queued.
+	SizeDoc string `json:"size_doc,omitempty"`
+	// DefaultSizes is the algorithm's suggested input-size ladder.
+	DefaultSizes []int `json:"default_sizes,omitempty"`
 }
 
 // AlgorithmsResponse is the GET /v1/algorithms payload.
@@ -216,8 +223,13 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 		Topologies: network.TopologyNames(),
 		Strategies: network.RouterNames(),
 	}
-	for _, a := range harness.TraceAlgorithms() {
-		resp.Algorithms = append(resp.Algorithms, AlgorithmInfo{Name: a.Name, Doc: a.Doc})
+	for _, a := range alg.All() {
+		resp.Algorithms = append(resp.Algorithms, AlgorithmInfo{
+			Name:         a.Name,
+			Doc:          a.Doc,
+			SizeDoc:      a.SizeDoc,
+			DefaultSizes: a.DefaultSizes(),
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -610,3 +610,62 @@ func TestMetricsTextFormat(t *testing.T) {
 		}
 	}
 }
+
+// TestSizeValidationRejectsEarly is an acceptance check of the algorithm
+// API: a request whose n violates the algorithm's size constraint is
+// rejected with HTTP 400 before any job is queued, and the error body
+// carries the algorithm's size doc so the client can self-correct.
+func TestSizeValidationRejectsEarly(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(c.BaseURL+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := copyBody(&sb, resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, sb.String()
+	}
+	// matmul needs the square of a power of two; 6 is neither.
+	status, body := post(`{"algorithm":"matmul","n":6,"kind":"trace","wait":true}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid size: status %d, want 400 (body %s)", status, body)
+	}
+	a, ok := harness.TraceAlgorithmByName("matmul")
+	if !ok {
+		t.Fatal("matmul missing from registry")
+	}
+	if !strings.Contains(body, a.SizeDoc) {
+		t.Errorf("400 body does not carry the size doc %q: %s", a.SizeDoc, body)
+	}
+	// No job may have been queued or run for the rejected request.
+	if running, done := jobCounts(t, c); running+done != 0 {
+		t.Errorf("rejected request left jobs behind (running %d, done %d)", running, done)
+	}
+	// The smallest invalid sizes get the same typed treatment (the
+	// generic n >= 2 floor must not shadow the size doc).
+	status, body = post(`{"algorithm":"matmul","n":1,"kind":"trace","wait":true}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, a.SizeDoc) {
+		t.Errorf("n=1: status %d body %s, want 400 with the size doc", status, body)
+	}
+	// The same n on an algorithm that accepts it goes through.
+	status, body = post(`{"algorithm":"fft","n":8,"kind":"trace","wait":true}`)
+	if status != http.StatusOK {
+		t.Errorf("valid size: status %d (body %s)", status, body)
+	}
+}
+
+// jobCounts reads the scheduler's running/done job counters via the
+// metrics endpoint.
+func jobCounts(t *testing.T, c *Client) (running, done int) {
+	t.Helper()
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(snap.Jobs.Running), int(snap.Jobs.Done)
+}

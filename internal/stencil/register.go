@@ -1,0 +1,51 @@
+package stencil
+
+import (
+	"context"
+	"math/rand"
+
+	"netoblivious/alg"
+)
+
+// randCells draws the deterministic registry input.
+func randCells(rng *rand.Rand, n int) []int64 {
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(rng.Intn(1 << 20))
+	}
+	return in
+}
+
+// The registry descriptors pin Wise (see the matmul registration note).
+func init() {
+	alg.MustRegister(alg.Algorithm{
+		Name:    "stencil1",
+		Doc:     "(n,1)-stencil diamond recursion (§4.4.1); n = spatial side",
+		SizeDoc: "spatial side n, a power of two >= 2",
+		Sizes:   []int{2, 8, 64, 1024},
+		Valid:   alg.PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			spec.Wise = true
+			r, err := Run(n, 1, randCells(alg.SeededRand(), n), spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace}, nil
+		},
+	})
+	alg.MustRegister(alg.Algorithm{
+		Name:    "stencil2",
+		Doc:     "(n,2)-stencil octahedral recursion (§4.4.2); n = spatial side, v = n²",
+		SizeDoc: "spatial side n, a power of two >= 2 (the machine has v = n² VPs)",
+		Sizes:   []int{2, 8, 64},
+		Valid:   alg.PowerOfTwo(2),
+		RunFn: func(ctx context.Context, spec alg.Spec, n int) (alg.Result, error) {
+			spec.Wise = true
+			r, err := Run(n, 2, randCells(alg.SeededRand(), n*n), spec)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Trace: r.Trace}, nil
+		},
+	})
+}

@@ -1,32 +1,15 @@
 package stencil
 
 import (
-	"context"
 	"fmt"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
-// Options configures a stencil run.
-type Options struct {
-	// Wise adds the paper's dummy messages to every superstep.
-	Wise bool
-	// Record enables message-pair recording.
-	Record bool
-	// K overrides the recursion degree (default 2^⌈√log n⌉, the paper's
-	// choice).  Used by the ablation benches; must be a power of two >= 2.
-	K int
-	// Engine selects the core execution engine; nil uses the default.
-	Engine core.Engine
-	// Ctx cancels the specification-model run at superstep granularity;
-	// nil disables cancellation.
-	Ctx context.Context
-}
-
-// runOpts translates Options into the core run options.
-func (o Options) runOpts() core.Options {
-	return core.Options{RecordMessages: o.Record, Engine: o.Engine, Context: o.Ctx}
-}
+// Options is the unified run configuration (engine, recording, wiseness
+// dummies, cancellation).
+type Options = alg.Spec
 
 // Result carries the evaluated space-time grid and the trace.
 type Result struct {
@@ -101,9 +84,17 @@ func SeqEvaluate(n, d int, in []int64) []int64 {
 }
 
 // Run evaluates the (n,d)-stencil DAG with the network-oblivious recursive
-// diamond algorithm on M(n^d).  in is the t=0 input row (n values for d=1,
-// n² row-major values for d=2).
+// diamond algorithm on M(n^d), at the paper's recursion degree
+// K = 2^⌈√log n⌉.  in is the t=0 input row (n values for d=1, n² row-major
+// values for d=2).
 func Run(n, d int, in []int64, opts Options) (*Result, error) {
+	return RunK(n, d, 0, in, opts)
+}
+
+// RunK is Run with an explicit recursion degree k, a knob the ablation
+// benchmarks sweep; k must be a power of two in [2, n], and 0 selects
+// the paper's default.
+func RunK(n, d, k int, in []int64, opts Options) (*Result, error) {
 	if n < 1 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("stencil: n=%d must be a positive power of two", n)
 	}
@@ -119,7 +110,7 @@ func Run(n, d int, in []int64, opts Options) (*Result, error) {
 	}
 	if n == 1 {
 		// Trivial instance: one node per spatial point at t=0, all local.
-		tr, err := core.RunOpt(1, func(vp *core.VP[payload]) {}, opts.runOpts())
+		tr, err := core.RunOpt(1, func(vp *core.VP[payload]) {}, opts.RunOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +120,6 @@ func Run(n, d int, in []int64, opts Options) (*Result, error) {
 		}
 		return &Result{Grid: grid, Trace: tr}, nil
 	}
-	k := opts.K
 	if k == 0 {
 		k = K(n)
 	}
@@ -155,7 +145,7 @@ func Run(n, d int, in []int64, opts Options) (*Result, error) {
 			vals: make(map[node]int64)}
 		w.evalBox(g.root())
 	}
-	tr, err := core.RunOpt(v, prog, opts.runOpts())
+	tr, err := core.RunOpt(v, prog, opts.RunOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -53,7 +53,7 @@ func TestRun1DCustomK(t *testing.T) {
 	in := randInputs(rng, n)
 	want := SeqEvaluate(n, 1, in)
 	for _, k := range []int{2, 4, 8, 16, 32} {
-		res, err := Run(n, 1, in, Options{K: k})
+		res, err := RunK(n, 1, k, in, Options{})
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -90,7 +90,7 @@ func TestRun2DCustomK(t *testing.T) {
 	in := randInputs(rng, n*n)
 	want := SeqEvaluate(n, 2, in)
 	for _, k := range []int{2, 4, 8} {
-		res, err := Run(n, 2, in, Options{K: k})
+		res, err := RunK(n, 2, k, in, Options{})
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -226,10 +226,10 @@ func TestValidation(t *testing.T) {
 	if _, err := Run(4, 1, make([]int64, 5), Options{}); err == nil {
 		t.Error("want error for wrong input length")
 	}
-	if _, err := Run(8, 1, make([]int64, 8), Options{K: 3}); err == nil {
+	if _, err := RunK(8, 1, 3, make([]int64, 8), Options{}); err == nil {
 		t.Error("want error for non-power-of-two K")
 	}
-	if _, err := Run(8, 1, make([]int64, 8), Options{K: 16}); err == nil {
+	if _, err := RunK(8, 1, 16, make([]int64, 8), Options{}); err == nil {
 		t.Error("want error for K > n")
 	}
 }

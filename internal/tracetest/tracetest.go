@@ -4,9 +4,11 @@ package tracetest
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"testing"
 
+	"netoblivious/alg"
 	"netoblivious/internal/core"
 )
 
@@ -37,4 +39,31 @@ func Canonical(t testing.TB, tr *core.Trace) []byte {
 		t.Fatalf("tracetest: encoding trace: %v", err)
 	}
 	return buf.Bytes()
+}
+
+// EngineEquivalence runs a registry algorithm on both execution engines
+// at every given size and asserts byte-identical traces — the check the
+// repository applies to its built-in algorithms and, because it takes any
+// descriptor, to user-registered ones too.  It returns the number of
+// sizes successfully compared.
+func EngineEquivalence(t testing.TB, a alg.Algorithm, sizes []int) int {
+	t.Helper()
+	compared := 0
+	for _, n := range sizes {
+		ref, refErr := a.Run(context.Background(), alg.Spec{Engine: core.GoroutineEngine{}}, n)
+		got, gotErr := a.Run(context.Background(), alg.Spec{Engine: core.BlockEngine{}}, n)
+		if (refErr != nil) != (gotErr != nil) {
+			t.Errorf("%s n=%d: engines disagree on validity: goroutine=%v block=%v", a.Name, n, refErr, gotErr)
+			continue
+		}
+		if refErr != nil {
+			continue // size invalid for this algorithm on both engines
+		}
+		if !bytes.Equal(Canonical(t, ref.Trace), Canonical(t, got.Trace)) {
+			t.Errorf("%s n=%d: BlockEngine trace differs from GoroutineEngine trace", a.Name, n)
+			continue
+		}
+		compared++
+	}
+	return compared
 }
