@@ -108,12 +108,24 @@ type GoroutineEngine = core.GoroutineEngine
 // worker pool through tree barriers and bucketed message routing.
 type BlockEngine = core.BlockEngine
 
-// EngineByName resolves "goroutine" or "block" to an Engine, for wiring
-// to command-line flags.
+// ReplayEngine is the schedule-caching engine: the first run of a keyed
+// static program executes once, instrumented, and compiles the recorded
+// schedule; every later run replays the compiled schedule allocation-free
+// without executing the program.  Registered algorithms are keyed
+// automatically; see core.ReplayEngine.
+type ReplayEngine = core.ReplayEngine
+
+// EngineByName resolves "goroutine", "block" or "replay" to an Engine,
+// for wiring to command-line flags.  The error enumerates every
+// registered name.
 func EngineByName(name string) (Engine, error) { return core.EngineByName(name) }
 
 // EngineNames lists the selectable engine names.
 func EngineNames() []string { return core.EngineNames() }
+
+// Engines returns one default-configured instance of every selectable
+// engine, sorted by name.
+func Engines() []Engine { return core.Engines() }
 
 // DefaultEngine returns the engine used when RunOptions.Engine is nil.
 func DefaultEngine() Engine { return core.DefaultEngine() }

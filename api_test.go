@@ -60,8 +60,8 @@ func TestFacadeRecordOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr.Steps[0].Pairs) != 4 {
-		t.Errorf("pairs = %d, want 4", len(tr.Steps[0].Pairs))
+	if tr.Steps[0].Pairs.Len() != 4 {
+		t.Errorf("pairs = %d, want 4", tr.Steps[0].Pairs.Len())
 	}
 }
 

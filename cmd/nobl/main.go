@@ -13,6 +13,8 @@
 //	                              network presets
 //	nobl benchnet [-p P] [-o F]   benchmark the routing engine across every
 //	                              topology and strategy (JSON report)
+//	nobl benchcore [-o F]         benchmark every execution engine on the
+//	                              superstep workload (JSON report)
 //
 // Flags:
 //
@@ -22,8 +24,10 @@
 //	-parallel N run up to N experiments concurrently (0 = GOMAXPROCS);
 //	            output is byte-identical at any parallelism
 //	-bench F    write a wall-clock/trace-store bench report to F (JSON)
-//	-engine     execution engine for all specification-model runs
-//	            (block, the sharded default, or goroutine, the reference)
+//	-engine     execution engine for all specification-model runs; run
+//	            'nobl algorithms' for the list (block, the sharded
+//	            default; goroutine, the reference; replay, the
+//	            schedule-caching engine for repeated static runs)
 //
 // Exit status: 0 when every selected experiment ran and every check
 // passed; 1 when an experiment failed to run or any check failed; 2 on
@@ -39,6 +43,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -104,12 +109,15 @@ func main() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 			fmt.Printf("%-16s   sizes: %s (defaults %s)\n", "", a.SizeDoc, formatSizes(a.DefaultSizes()))
 		}
+		fmt.Printf("\nengines (-engine): %s\n", strings.Join(core.EngineNames(), ", "))
 	case "trace":
 		runTrace(engine, args[1:])
 	case "stat":
 		runStat(args[1:])
 	case "benchnet":
 		os.Exit(runBenchNet(args[1:]))
+	case "benchcore":
+		os.Exit(runBenchCore(args[1:]))
 	case "remote":
 		os.Exit(runRemote(f, args[1:]))
 	default:
@@ -516,6 +524,164 @@ func runBenchNet(args []string) int {
 	return 0
 }
 
+// coreBenchReport is the schema of `nobl benchcore`: specification-model
+// latency per (engine, machine size) on the fixed superstep workload —
+// exchanges at a deep label, a mid label and the global label, as real
+// algorithms do — plus the warm-replay speedup over the other engines.
+// CI archives it as BENCH_core.json to track engine performance over
+// time.
+type coreBenchReport struct {
+	Schema  string           `json:"schema"`
+	Reps    int              `json:"reps"`
+	Results []coreBenchCase  `json:"cases"`
+	Speedup []coreBenchRatio `json:"warm_replay_speedup"`
+}
+
+type coreBenchCase struct {
+	Engine string  `json:"engine"`
+	V      int     `json:"v"`
+	NsOp   float64 `json:"ns_per_op"`
+	Iters  int     `json:"iters"`
+}
+
+type coreBenchRatio struct {
+	V           int     `json:"v"`
+	VsBlock     float64 `json:"vs_block"`
+	VsGoroutine float64 `json:"vs_goroutine"`
+}
+
+// benchCoreWorkload runs the fixed superstep mix on the given engine and
+// machine size (the same mix the BenchmarkRun series uses).
+func benchCoreWorkload(v int, eng core.Engine) error {
+	labels := []int{core.Log2(v) - 1, 2, 0}
+	if v < 8 {
+		labels = []int{0}
+	}
+	_, err := core.RunOpt(v, func(vp *core.VP[int64]) {
+		var acc int64
+		for _, lab := range labels {
+			partner := vp.ID() ^ (v >> uint(lab+1))
+			vp.Send(partner, int64(vp.ID())+acc)
+			vp.Sync(lab)
+			if m, ok := vp.Receive(); ok {
+				acc += m
+			}
+		}
+		vp.Sync(0)
+	}, core.Options{Engine: eng})
+	return err
+}
+
+// measureNsOp times fn over enough iterations to damp timer noise and
+// returns ns/op with the iteration count used.
+func measureNsOp(fn func() error) (float64, int, error) {
+	start := time.Now()
+	if err := fn(); err != nil {
+		return 0, 0, err
+	}
+	first := time.Since(start)
+	iters := 1
+	if target := 50 * time.Millisecond; first < target {
+		iters = int(target/(first+1)) + 1
+		if iters > 2000 {
+			iters = 2000
+		}
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), iters, nil
+}
+
+// runBenchCore benchmarks every selectable engine on the superstep
+// workload across machine sizes.  The replay engine is measured warm:
+// one unmeasured run records, compiles and caches the schedule, so its
+// ns/op is the steady-state replay cost the schedule cache delivers.
+func runBenchCore(args []string) int {
+	fs := flag.NewFlagSet("benchcore", flag.ExitOnError)
+	sizesFlag := fs.String("sizes", "10,12,14", "comma-separated log2 machine sizes")
+	reps := fs.Int("reps", 3, "repetitions per case (fastest ns/op wins)")
+	out := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		lv, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || lv < 1 || lv > 24 {
+			fmt.Fprintf(os.Stderr, "nobl benchcore: bad -sizes entry %q (want log2 sizes in 1..24)\n", s)
+			return 2
+		}
+		sizes = append(sizes, 1<<uint(lv))
+	}
+	rep := coreBenchReport{Schema: "nobl/bench-core/v1", Reps: *reps}
+	nsFor := map[string]map[int]float64{}
+	for _, engName := range core.EngineNames() {
+		nsFor[engName] = map[int]float64{}
+		for _, v := range sizes {
+			eng, err := core.EngineByName(engName)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
+				return 1
+			}
+			if engName == "replay" {
+				// Key the engine and warm its schedule cache so the
+				// measurement sees pure replays, not the recording run.
+				eng = core.ReplayEngine{
+					Key:   core.TraceKey{Algorithm: "benchcore", N: v, Engine: "replay"},
+					Store: core.NewScheduleStore(),
+				}
+				if err := benchCoreWorkload(v, eng); err != nil {
+					fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
+					return 1
+				}
+			}
+			best := coreBenchCase{Engine: engName, V: v}
+			for trial := 0; trial < *reps; trial++ {
+				ns, iters, err := measureNsOp(func() error { return benchCoreWorkload(v, eng) })
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
+					return 1
+				}
+				if trial == 0 || ns < best.NsOp {
+					best.NsOp, best.Iters = ns, iters
+				}
+			}
+			nsFor[engName][v] = best.NsOp
+			rep.Results = append(rep.Results, best)
+			fmt.Fprintf(os.Stderr, "nobl benchcore: %-10s v=%-7d %12.0f ns/op\n", engName, v, best.NsOp)
+		}
+	}
+	for _, v := range sizes {
+		r := coreBenchRatio{V: v}
+		if ns := nsFor["replay"][v]; ns > 0 {
+			r.VsBlock = nsFor["block"][v] / ns
+			r.VsGoroutine = nsFor["goroutine"][v] / ns
+		}
+		rep.Speedup = append(rep.Speedup, r)
+		fmt.Fprintf(os.Stderr, "nobl benchcore: v=%-7d warm replay %.1fx vs block, %.1fx vs goroutine\n",
+			v, r.VsBlock, r.VsGoroutine)
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
+			return 1
+		}
+		defer file.Close()
+		w = file
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
 func runTrace(engine core.Engine, args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	n := fs.Int("n", 1024, "input size (power of two; matmul needs a square)")
@@ -560,8 +726,8 @@ func runTrace(engine core.Engine, args []string) {
 		fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "nobl: %s on M(%d): %d supersteps, %d messages\n",
-		a.Name, tr.V, tr.NumSupersteps(), tr.TotalMessages())
+	fmt.Fprintf(os.Stderr, "nobl: %s on M(%d) via %s: %d supersteps, %d messages\n",
+		a.Name, tr.V, engine.Name(), tr.NumSupersteps(), tr.TotalMessages())
 }
 
 // formatSizes renders a default-size ladder compactly.
@@ -640,6 +806,9 @@ usage:
   nobl benchnet [-p P] [-h H] [-reps R] [-o file]
               routing-engine throughput (packet-hops/sec) across every
               topology x strategy, as a JSON report
+  nobl benchcore [-sizes 10,12,14] [-reps R] [-o file]
+              execution-engine latency (ns/op per engine and machine
+              size, plus the warm-replay speedup), as a JSON report
   nobl remote <algorithms|analyze|job|metrics> [-addr URL] ...
               target a shared nobld daemon instead of computing locally
               (analyze <alg> [-n N] [-kind K] [-p P] [-sigma σ] [-wait]
@@ -652,8 +821,8 @@ flags:
   -parallel N concurrent experiments (0 = GOMAXPROCS); output is
               byte-identical at any parallelism
   -bench F    wall-clock + trace-store report (JSON)
-  -engine E   execution engine (block|goroutine)
+  -engine E   execution engine (%s)
 
 'nobl run' exits non-zero when any experiment errors or any check fails.
-`)
+`, strings.Join(core.EngineNames(), "|"))
 }

@@ -24,6 +24,10 @@
 //	nobld -addr :7413 -workers 4 -cache-entries 512 -trace-entries 64 \
 //	      -queue 1024 -timeout 2m -engine block
 //
+// The -engine flag sets the server-wide default execution engine; any
+// registered engine name is accepted (GET /v1/algorithms lists them) and
+// a request may override it per call through its "engine" field.
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, running jobs are
 // cancelled, and the process exits 0.
 package main

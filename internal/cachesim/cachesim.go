@@ -112,8 +112,8 @@ func SimulateTrace(tr *core.Trace, ctxWords int, cache *Cache) (SimStats, error)
 		// Group messages by source; Pairs order within a superstep is
 		// unspecified, so bucket them first for the per-VP schedule.
 		bySrc := make([][]int32, tr.V)
-		for _, pr := range rec.Pairs {
-			bySrc[pr[0]] = append(bySrc[pr[0]], pr[1])
+		for src, dst := range rec.Pairs.All() {
+			bySrc[src] = append(bySrc[src], dst)
 		}
 		for w := 0; w < tr.V; w++ {
 			cache.AccessRange(int64(w)*region, ctxWords)

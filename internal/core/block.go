@@ -195,7 +195,7 @@ type blockRun[P any] struct {
 	sentG, recvG [][]int32   // [level][globalBlock]; nil at coarse levels
 	sentL, recvL [][][]int32 // [worker][level][block]; nil at fine levels
 	localMax     [][]int32   // [worker][level] partition maxima
-	pairShard    [][][2]int32
+	pairShard    []*PairList // per-worker recorded pairs; spliced at merge
 
 	// Coordinator state, written by worker 0 inside a barrier and read by
 	// every worker after its release.
@@ -241,7 +241,10 @@ func runBlockEngine[P any](m *machine[P], prog Program[P], W int) {
 		}
 	}
 	if m.opts.RecordMessages {
-		b.pairShard = make([][][2]int32, W)
+		b.pairShard = make([]*PairList, W)
+		for w := 0; w < W; w++ {
+			b.pairShard[w] = &PairList{}
+		}
 	}
 	var wg sync.WaitGroup
 	wg.Add(W)
@@ -473,7 +476,7 @@ func (b *blockRun[P]) deliverSequential() {
 				b.recvG[j][db]++
 			}
 			if b.pairShard != nil {
-				b.pairShard[0] = append(b.pairShard[0], [2]int32{int32(r), int32(msg.dst)})
+				b.pairShard[0].Append(int32(r), int32(msg.dst))
 			}
 			if !msg.dummy {
 				dst := &m.vps[msg.dst]
@@ -546,7 +549,7 @@ func (b *blockRun[P]) sendPhase(w, lo, hi int) {
 				}
 			}
 			if b.pairShard != nil {
-				b.pairShard[w] = append(b.pairShard[w], [2]int32{int32(r), int32(msg.dst)})
+				b.pairShard[w].Append(int32(r), int32(msg.dst))
 			}
 			dw := msg.dst / b.bs
 			b.outBuckets[w][dw] = append(b.outBuckets[w][dw], routedMsg[P]{src: int32(r), dst: int32(msg.dst), dummy: msg.dummy, payload: msg.payload})
@@ -629,7 +632,7 @@ func (b *blockRun[P]) mergeStep() {
 	label, logV := b.stepLabel, m.logV
 	nLevels := logV - label
 	levelMax := make([]int64, nLevels)
-	var pairs [][2]int32
+	var pairs *PairList
 	if b.stepMsgs > 0 {
 		for j := label + 1; j <= logV; j++ {
 			var mx int32
@@ -658,10 +661,11 @@ func (b *blockRun[P]) mergeStep() {
 			levelMax[j-label-1] = int64(mx)
 		}
 		if b.pairShard != nil {
-			pairs = make([][2]int32, 0, b.stepMsgs)
+			// Shard chunks move into the trace by ownership transfer; the
+			// shards come back empty for the next superstep.
+			pairs = &PairList{}
 			for w := 0; w < b.w; w++ {
-				pairs = append(pairs, b.pairShard[w]...)
-				b.pairShard[w] = b.pairShard[w][:0]
+				pairs.Splice(b.pairShard[w])
 			}
 		}
 	}

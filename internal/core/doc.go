@@ -36,7 +36,7 @@
 // # Execution engines
 //
 // How the v virtual processors are scheduled on the host is pluggable
-// through the Engine interface; two engines are provided:
+// through the Engine interface; three engines are provided:
 //
 //   - GoroutineEngine — the reference: one goroutine per VP, parked on
 //     per-cluster condition-variable barriers.  Sync parks the goroutine
@@ -58,6 +58,29 @@
 //     accumulate in per-worker partitions merged once per barrier,
 //     keeping the trace mutex off the hot path.  All clusters advance
 //     superstep-synchronously.
+//
+//   - ReplayEngine — the schedule cache, built on the paper's central
+//     determinism fact: a static algorithm's communication at a fixed
+//     input size is a pure function of that size.  The first run for a
+//     key (algorithm, n) executes once, instrumented, on the Compile
+//     engine and compiles the recorded trace into a Schedule — per
+//     superstep, the label, the fold-degree vector and a
+//     destination-bucketed CSR routing table sorted by (destination,
+//     source) so the compiled form is canonical.  Every later run
+//     replays the schedule as pure data movement through a pooled
+//     arena: no goroutine per VP, no barriers, no Trace.mu contention,
+//     and a constant handful of allocations regardless of message
+//     volume (the trace itself plus the store key; the budget is
+//     enforced by TestWarmReplayAllocs).  Warm replays skip the program
+//     body entirely, so only the trace — not payload side effects — is
+//     produced; the alg registry keys every registered algorithm
+//     automatically (KeyedReplay), and an unkeyed ReplayEngine degrades
+//     to direct execution on its Compile engine.
+//
+// Compiled schedules live in a ScheduleStore — a bounded single-flight
+// LRU keyed like the trace store, one shared process-wide instance
+// (SharedScheduleStore) by default.  Cancellation during a compile run
+// is never memoized: the next caller recompiles.
 //
 // # Determinism guarantees
 //

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync/atomic"
 )
 
@@ -95,24 +96,46 @@ func floorPow2(n int) int {
 	return p
 }
 
+// engineFactories is the registry of selectable engines: name → fresh
+// default-configured instance.  EngineByName, EngineNames and Engines all
+// derive from it, so adding an engine here updates every user-facing
+// enumeration (CLI flag docs, usage text, service error bodies) at once.
+var engineFactories = map[string]func() Engine{
+	GoroutineEngine{}.Name(): func() Engine { return GoroutineEngine{} },
+	BlockEngine{}.Name():     func() Engine { return BlockEngine{} },
+	ReplayEngine{}.Name():    func() Engine { return ReplayEngine{} },
+}
+
 // EngineByName resolves an engine name, as accepted on command lines
-// ("goroutine" or "block"), to an Engine.
+// ("goroutine", "block", "replay"), to a default-configured Engine.  The
+// error enumerates every registered name.
 func EngineByName(name string) (Engine, error) {
-	switch name {
-	case "goroutine":
-		return GoroutineEngine{}, nil
-	case "block":
-		return BlockEngine{}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown engine %q (have %v)", name, EngineNames())
+	if f, ok := engineFactories[name]; ok {
+		return f(), nil
 	}
+	return nil, fmt.Errorf("core: unknown engine %q (have %s)", name, strings.Join(EngineNames(), ", "))
 }
 
 // EngineNames lists the selectable engine names, sorted.
 func EngineNames() []string {
-	names := []string{GoroutineEngine{}.Name(), BlockEngine{}.Name()}
+	names := make([]string, 0, len(engineFactories))
+	for n := range engineFactories {
+		names = append(names, n)
+	}
 	sort.Strings(names)
 	return names
+}
+
+// Engines returns one default-configured instance of every selectable
+// engine, sorted by name — the listing surfaces (nobl, the service's
+// /v1/algorithms) render engine tables from it.
+func Engines() []Engine {
+	names := EngineNames()
+	out := make([]Engine, len(names))
+	for i, n := range names {
+		out[i] = engineFactories[n]()
+	}
+	return out
 }
 
 // engineBox wraps an Engine so atomic.Value always stores one concrete

@@ -245,7 +245,7 @@ func (m *machine[P]) deliver(label, first, size, step int) error {
 
 	nLevels := m.logV - label // folds j in (label, logV]
 	var sent, recv [][]int32
-	var pairs [][2]int32
+	var pairs *PairList
 	if total > 0 {
 		sent = make([][]int32, nLevels)
 		recv = make([][]int32, nLevels)
@@ -258,7 +258,7 @@ func (m *machine[P]) deliver(label, first, size, step int) error {
 			recv[jj] = make([]int32, blocks)
 		}
 		if m.opts.RecordMessages {
-			pairs = make([][2]int32, 0, total)
+			pairs = NewPairList(int(total))
 		}
 	}
 
@@ -284,7 +284,7 @@ func (m *machine[P]) deliver(label, first, size, step int) error {
 				recv[jj][db-base]++
 			}
 			if pairs != nil {
-				pairs = append(pairs, [2]int32{int32(w), int32(msg.dst)})
+				pairs.Append(int32(w), int32(msg.dst))
 			}
 		}
 	}
@@ -441,6 +441,15 @@ func RunOpt[P any](v int, prog Program[P], opts Options) (*Trace, error) {
 		if err := opts.Context.Err(); err != nil {
 			return nil, fmt.Errorf("core: run cancelled: %w", err)
 		}
+	}
+	// The ReplayEngine never builds a machine: it is dispatched before the
+	// per-VP state is allocated, which is what makes warm replays nearly
+	// allocation-free.
+	switch e := eng.(type) {
+	case ReplayEngine:
+		return runReplay(v, prog, opts, e)
+	case *ReplayEngine:
+		return runReplay(v, prog, opts, *e)
 	}
 	m := newMachine[P](v, opts)
 	switch e := eng.(type) {

@@ -305,11 +305,11 @@ func TestRecordMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr.Steps[0].Pairs) != 4 {
-		t.Fatalf("pairs = %v, want 4 entries", tr.Steps[0].Pairs)
+	if tr.Steps[0].Pairs.Len() != 4 {
+		t.Fatalf("pairs = %v, want 4 entries", tr.Steps[0].Pairs.Pairs())
 	}
 	seen := map[[2]int32]bool{}
-	for _, p := range tr.Steps[0].Pairs {
+	for _, p := range tr.Steps[0].Pairs.Pairs() {
 		seen[p] = true
 	}
 	for i := int32(0); i < 4; i++ {

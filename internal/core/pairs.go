@@ -1,0 +1,196 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"iter"
+)
+
+// pairChunkLen is the pair capacity of one PairList chunk: 4096 pairs =
+// two 16 KiB columns.  Growth beyond a chunk allocates a fresh chunk and
+// never copies recorded pairs, so a message-heavy superstep costs one
+// small allocation per 4096 messages instead of the repeated re-grow
+// (and transient memory doubling) of a single flat slice.
+const pairChunkLen = 4096
+
+// pairChunk is one columnar segment of a PairList: parallel source and
+// destination columns of equal length.
+type pairChunk struct {
+	src, dst []int32
+}
+
+// PairList is the chunked, columnar record of a superstep's message
+// (src, dst) pairs.  Chunks are append-only and immutable once a run
+// completes, which lets consumers — the trace store, the replay engine's
+// compiled schedules — share one list across traces without copying.
+//
+// The JSON form is the flat [[src, dst], ...] array the pre-columnar
+// trace format used, so archived traces decode unchanged.
+type PairList struct {
+	chunks []pairChunk
+	n      int
+}
+
+// NewPairList returns an empty list.  hint, when positive, pre-sizes the
+// first chunk for hint pairs (clipped to the chunk capacity) so callers
+// that know a superstep's message count — the engines do — avoid every
+// intermediate growth step.
+func NewPairList(hint int) *PairList {
+	p := &PairList{}
+	if hint > 0 {
+		if hint > pairChunkLen {
+			hint = pairChunkLen
+		}
+		p.chunks = []pairChunk{{src: make([]int32, 0, hint), dst: make([]int32, 0, hint)}}
+	}
+	return p
+}
+
+// pairListOver wraps existing parallel columns as a single-chunk list
+// without copying.  The caller must treat the columns as immutable
+// afterwards; the replay engine uses this to share one compiled column
+// pair across every replayed trace.
+func pairListOver(src, dst []int32) *PairList {
+	if len(src) != len(dst) {
+		panic("core: pairListOver: column lengths differ")
+	}
+	if len(src) == 0 {
+		return &PairList{}
+	}
+	return &PairList{chunks: []pairChunk{{src: src, dst: dst}}, n: len(src)}
+}
+
+// Len returns the number of recorded pairs.  A nil list is empty.
+func (p *PairList) Len() int {
+	if p == nil {
+		return 0
+	}
+	return p.n
+}
+
+// Append records one (src, dst) pair.
+func (p *PairList) Append(src, dst int32) {
+	if len(p.chunks) == 0 || len(p.chunks[len(p.chunks)-1].src) == cap(p.chunks[len(p.chunks)-1].src) {
+		p.chunks = append(p.chunks, pairChunk{
+			src: make([]int32, 0, pairChunkLen),
+			dst: make([]int32, 0, pairChunkLen),
+		})
+	}
+	c := &p.chunks[len(p.chunks)-1]
+	c.src = append(c.src, src)
+	c.dst = append(c.dst, dst)
+	p.n++
+}
+
+// Splice moves every chunk of other into p without copying a single
+// pair.  other is emptied: ownership of its chunks transfers to p.  This
+// is how the engines hand a superstep's per-worker shards to the trace —
+// an O(chunks) pointer move inside the trace lock instead of an
+// O(messages) copy.
+func (p *PairList) Splice(other *PairList) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	p.chunks = append(p.chunks, other.chunks...)
+	p.n += other.n
+	other.chunks = nil
+	other.n = 0
+}
+
+// All iterates the pairs in append order (across spliced shards, shard
+// order).  No order is guaranteed between runs — pairs are a multiset;
+// see the Trace documentation.
+func (p *PairList) All() iter.Seq2[int32, int32] {
+	return func(yield func(int32, int32) bool) {
+		if p == nil {
+			return
+		}
+		for _, c := range p.chunks {
+			for i := range c.src {
+				if !yield(c.src[i], c.dst[i]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Pairs materializes the list as a flat [][2]int32, in iteration order.
+// Intended for tests and one-shot analyses; hot paths should iterate All.
+func (p *PairList) Pairs() [][2]int32 {
+	if p.Len() == 0 {
+		return nil
+	}
+	out := make([][2]int32, 0, p.n)
+	for src, dst := range p.All() {
+		out = append(out, [2]int32{src, dst})
+	}
+	return out
+}
+
+// PairListOf builds a list from a flat pair slice (the inverse of Pairs).
+func PairListOf(pairs [][2]int32) *PairList {
+	p := NewPairList(len(pairs))
+	for _, pr := range pairs {
+		p.Append(pr[0], pr[1])
+	}
+	return p
+}
+
+// MarshalJSON renders the list in the stable flat wire format
+// [[src, dst], ...] regardless of the chunk layout.
+func (p *PairList) MarshalJSON() ([]byte, error) {
+	if p.Len() == 0 {
+		return []byte("[]"), nil
+	}
+	// Hand-rolled encoding: a trace at large n carries millions of pairs
+	// and fmt/reflect dominate the generic path.
+	buf := make([]byte, 0, p.n*8)
+	buf = append(buf, '[')
+	first := true
+	for src, dst := range p.All() {
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = append(buf, '[')
+		buf = appendInt32(buf, src)
+		buf = append(buf, ',')
+		buf = appendInt32(buf, dst)
+		buf = append(buf, ']')
+	}
+	buf = append(buf, ']')
+	return buf, nil
+}
+
+// appendInt32 appends the decimal form of v.
+func appendInt32(buf []byte, v int32) []byte {
+	if v < 0 {
+		buf = append(buf, '-')
+		v = -v
+	}
+	var tmp [11]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(buf, tmp[i:]...)
+}
+
+// UnmarshalJSON decodes the flat wire format back into chunks.
+func (p *PairList) UnmarshalJSON(data []byte) error {
+	var flat [][2]int32
+	if err := json.Unmarshal(data, &flat); err != nil {
+		return fmt.Errorf("core: decoding pair list: %w", err)
+	}
+	*p = PairList{}
+	for _, pr := range flat {
+		p.Append(pr[0], pr[1])
+	}
+	return nil
+}

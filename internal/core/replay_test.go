@@ -1,0 +1,311 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// replayTestProg is a small static program: a butterfly exchange at the
+// deepest label, then a global exchange.
+func replayTestProg(v int) Program[int] {
+	return func(vp *VP[int]) {
+		vp.Send(vp.ID()^1, vp.ID())
+		vp.Sync(Log2(v) - 1)
+		vp.Receive()
+		vp.Send((vp.ID()+v/2)%v, vp.ID())
+		vp.Sync(0)
+		vp.Receive()
+	}
+}
+
+func encodeTrace(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCompileScheduleNeedsPairs rejects traces recorded without message
+// pairs: there is nothing to route from.
+func TestCompileScheduleNeedsPairs(t *testing.T) {
+	tr, err := RunOpt(4, replayTestProg(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileSchedule(tr); err == nil {
+		t.Fatal("CompileSchedule accepted a trace without recorded pairs")
+	} else if !strings.Contains(err.Error(), "RecordMessages") {
+		t.Errorf("error does not point at RecordMessages: %v", err)
+	}
+}
+
+// TestReplayUnkeyedFallback: a zero-Key ReplayEngine has no identity to
+// cache under, so it must execute the program directly every time and
+// leave the schedule store untouched.
+func TestReplayUnkeyedFallback(t *testing.T) {
+	store := NewScheduleStore()
+	var executions atomic.Int32
+	prog := func(vp *VP[int]) {
+		if vp.ID() == 0 {
+			executions.Add(1)
+		}
+		vp.Send(vp.ID()^1, 1)
+		vp.Sync(0)
+		vp.Receive()
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := RunOpt(4, prog, Options{Engine: ReplayEngine{Store: store}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := executions.Load(); got != 3 {
+		t.Errorf("unkeyed replay executed the program %d times, want 3 (direct execution)", got)
+	}
+	if store.Len() != 0 {
+		t.Errorf("unkeyed replay cached %d schedules, want 0", store.Len())
+	}
+}
+
+// TestReplayKeyedColdWarm: the first keyed run records and compiles; the
+// second skips the program body entirely and replays an identical trace.
+func TestReplayKeyedColdWarm(t *testing.T) {
+	const v = 8
+	store := NewScheduleStore()
+	var executions atomic.Int32
+	prog := func(vp *VP[int]) {
+		if vp.ID() == 0 {
+			executions.Add(1)
+		}
+		replayTestProg(v)(vp)
+	}
+	eng := ReplayEngine{Key: TraceKey{Algorithm: "replay-test", N: v, Engine: "replay"}, Store: store}
+	cold, err := RunOpt(v, prog, Options{RecordMessages: true, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunOpt(v, prog, Options{RecordMessages: true, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load(); got != 1 {
+		t.Errorf("program executed %d times, want 1 (warm run must replay)", got)
+	}
+	if !bytes.Equal(encodeTrace(t, cold), encodeTrace(t, warm)) {
+		t.Error("cold and warm traces differ")
+	}
+	if warm.TotalMessages() != cold.TotalMessages() || warm.TotalMessages() == 0 {
+		t.Errorf("unexpected message totals: cold=%d warm=%d", cold.TotalMessages(), warm.TotalMessages())
+	}
+}
+
+// TestReplaySeqDisambiguation: an algorithm run that invokes RunOpt
+// several times gets one schedule per invocation — the per-run sequence
+// counter must keep a v=1 probe's schedule from aliasing the real
+// machine's.
+func TestReplaySeqDisambiguation(t *testing.T) {
+	store := NewScheduleStore()
+	run := func() (*Trace, *Trace) {
+		eng := KeyedReplay(ReplayEngine{Store: store}, "seq-test", 8)
+		probe, err := RunOpt(1, func(vp *VP[int]) { vp.Sync(0) }, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		main, err := RunOpt(8, replayTestProg(8), Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return probe, main
+	}
+	p1, m1 := run()
+	p2, m2 := run() // fresh KeyedReplay counter → same keys, warm hits
+	if store.Len() != 2 {
+		t.Errorf("store holds %d schedules, want 2 (one per RunOpt invocation)", store.Len())
+	}
+	if p1.V != 1 || m1.V != 8 {
+		t.Fatalf("unexpected machine sizes: probe v=%d main v=%d", p1.V, m1.V)
+	}
+	if !bytes.Equal(encodeTrace(t, p1), encodeTrace(t, p2)) || !bytes.Equal(encodeTrace(t, m1), encodeTrace(t, m2)) {
+		t.Error("second algorithm run replayed different traces")
+	}
+	if hits := store.Stats().Hits; hits == 0 {
+		t.Error("second algorithm run missed the schedule cache")
+	}
+}
+
+// TestReplayVMismatch: reusing one key at a different machine size is a
+// staticness violation and must fail loudly, not replay the wrong
+// schedule.
+func TestReplayVMismatch(t *testing.T) {
+	store := NewScheduleStore()
+	eng := ReplayEngine{Key: TraceKey{Algorithm: "vmismatch", N: 8, Engine: "replay"}, Store: store}
+	if _, err := RunOpt(8, replayTestProg(8), Options{Engine: eng}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunOpt(4, replayTestProg(4), Options{Engine: eng})
+	if err == nil {
+		t.Fatal("replay accepted one key at two machine sizes")
+	}
+	if !strings.Contains(err.Error(), "static") {
+		t.Errorf("error does not explain the staticness requirement: %v", err)
+	}
+}
+
+// TestReplayCompileThroughReplayRejected: a ReplayEngine must not be its
+// own compile engine.
+func TestReplayCompileThroughReplayRejected(t *testing.T) {
+	eng := ReplayEngine{
+		Key:     TraceKey{Algorithm: "self", N: 4, Engine: "replay"},
+		Store:   NewScheduleStore(),
+		Compile: ReplayEngine{},
+	}
+	if _, err := RunOpt(4, replayTestProg(4), Options{Engine: eng}); err == nil {
+		t.Fatal("replay accepted another ReplayEngine as its compile engine")
+	}
+}
+
+// TestReplayCancellationNotCached: a compile run killed by the caller's
+// context must not poison the key — the next caller recompiles.
+func TestReplayCancellationNotCached(t *testing.T) {
+	store := NewScheduleStore()
+	eng := ReplayEngine{Key: TraceKey{Algorithm: "cancel-test", N: 8, Engine: "replay"}, Store: store}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunOpt(8, replayTestProg(8), Options{Engine: eng, Context: ctx}); err == nil {
+		t.Fatal("run with a cancelled context succeeded")
+	}
+	tr, err := RunOpt(8, replayTestProg(8), Options{Engine: eng})
+	if err != nil {
+		t.Fatalf("cancellation stayed memoized: %v", err)
+	}
+	if tr.TotalMessages() == 0 {
+		t.Error("recompiled schedule lost its messages")
+	}
+}
+
+// TestReplayConcurrentSingleFlight hammers one cold key from many
+// goroutines: the program must compile exactly once and every caller
+// must get the identical trace.  Run under -race this also exercises the
+// schedule-cache paths for data races.
+func TestReplayConcurrentSingleFlight(t *testing.T) {
+	const v = 16
+	store := NewScheduleStore()
+	var executions atomic.Int32
+	prog := func(vp *VP[int]) {
+		if vp.ID() == 0 {
+			executions.Add(1)
+		}
+		replayTestProg(v)(vp)
+	}
+	eng := ReplayEngine{Key: TraceKey{Algorithm: "flight-test", N: v, Engine: "replay"}, Store: store}
+	const callers = 8
+	traces := make([]*Trace, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			traces[i], errs[i] = RunOpt(v, prog, Options{RecordMessages: true, Engine: eng})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := executions.Load(); got != 1 {
+		t.Errorf("program compiled %d times under contention, want 1 (single flight)", got)
+	}
+	want := encodeTrace(t, traces[0])
+	for i := 1; i < callers; i++ {
+		if !bytes.Equal(want, encodeTrace(t, traces[i])) {
+			t.Errorf("caller %d replayed a different trace", i)
+		}
+	}
+}
+
+// TestWarmReplayAllocs enforces the replay allocation budget: a warm
+// keyed run may allocate only the returned Trace (struct, step slice,
+// one degree backing array) plus the store key — at most 10 allocations,
+// independent of message volume.
+func TestWarmReplayAllocs(t *testing.T) {
+	const v = 1 << 10
+	store := NewScheduleStore()
+	eng := ReplayEngine{Key: TraceKey{Algorithm: "alloc-test", N: v, Engine: "replay"}, Store: store}
+	prog := replayTestProg(v)
+	if _, err := RunOpt(v, prog, Options{Engine: eng}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := RunOpt(v, prog, Options{Engine: eng}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 10 {
+		t.Errorf("warm replay allocates %.0f objects per run, budget is 10", allocs)
+	}
+}
+
+// TestWarmReplaySpeedup is the performance regression gate for the
+// engine: on a large machine the warm replay path must beat the
+// BlockEngine by at least 3x on the standard superstep workload.
+// (Measured headroom is >50x; 3x keeps the gate robust on loaded CI
+// machines.)
+func TestWarmReplaySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const v = 1 << 14
+	workload := func(eng Engine) {
+		logV := Log2(v)
+		labels := []int{logV - 1, 2, 0}
+		_, err := RunOpt(v, func(vp *VP[int64]) {
+			var acc int64
+			for _, lab := range labels {
+				partner := vp.ID() ^ (v >> uint(lab+1))
+				vp.Send(partner, int64(vp.ID())+acc)
+				vp.Sync(lab)
+				if m, ok := vp.Receive(); ok {
+					acc += m
+				}
+			}
+			vp.Sync(0)
+		}, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	replay := ReplayEngine{
+		Key:   TraceKey{Algorithm: "speedup-test", N: v, Engine: "replay"},
+		Store: NewScheduleStore(),
+	}
+	workload(replay) // cold: record, compile, cache
+	measure := func(eng Engine, reps int) time.Duration {
+		best := time.Duration(-1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			workload(eng)
+			if d := time.Since(start); best < 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	block := measure(BlockEngine{}, 3)
+	warm := measure(replay, 10)
+	if warm <= 0 {
+		warm = time.Nanosecond
+	}
+	if speedup := float64(block) / float64(warm); speedup < 3 {
+		t.Errorf("warm replay speedup %.1fx over BlockEngine at v=%d, want >= 3x (block=%v replay=%v)",
+			speedup, v, block, warm)
+	}
+}

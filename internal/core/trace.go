@@ -29,7 +29,10 @@ type StepRec struct {
 
 	// Pairs lists the (src, dst) of every message of the superstep, in no
 	// particular order.  Populated only under Options.RecordMessages.
-	Pairs [][2]int32
+	// The chunked columnar representation keeps recording message-heavy
+	// supersteps from repeatedly re-growing (and transiently doubling)
+	// one flat slice.
+	Pairs *PairList
 }
 
 // Trace is the complete communication record of one run of an algorithm on
@@ -55,7 +58,9 @@ func newTrace(v, logV int) *Trace {
 // merge folds the metrics of one cluster's barrier completion into the
 // global per-superstep record.  levelMax is indexed by j-label-1 for
 // j in (label, logV].
-func (t *Trace) merge(step, label int, levelMax []int64, msgs int64, pairs [][2]int32) error {
+// Pairs are built by the engines outside the lock and spliced in here —
+// an O(chunks) pointer move, never a per-pair copy.
+func (t *Trace) merge(step, label int, levelMax []int64, msgs int64, pairs *PairList) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for len(t.Steps) <= step {
@@ -74,8 +79,11 @@ func (t *Trace) merge(step, label int, levelMax []int64, msgs int64, pairs [][2]
 		}
 	}
 	rec.Messages += msgs
-	if pairs != nil {
-		rec.Pairs = append(rec.Pairs, pairs...)
+	if pairs.Len() > 0 {
+		if rec.Pairs == nil {
+			rec.Pairs = &PairList{}
+		}
+		rec.Pairs.Splice(pairs)
 	}
 	return nil
 }

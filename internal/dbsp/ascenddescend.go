@@ -66,11 +66,9 @@ func AscendDescend(tr *core.Trace, p int) (ProtocolCost, error) {
 		// Map messages to processor granularity.  holder[m] is the
 		// processor currently holding message m.
 		type msg struct{ holder, dst int }
-		msgs := make([]msg, 0, len(rec.Pairs))
-		for _, pr := range rec.Pairs {
-			src := int(pr[0]) >> shift
-			dst := int(pr[1]) >> shift
-			msgs = append(msgs, msg{holder: src, dst: dst})
+		msgs := make([]msg, 0, rec.Pairs.Len())
+		for src, dst := range rec.Pairs.All() {
+			msgs = append(msgs, msg{holder: int(src) >> shift, dst: int(dst) >> shift})
 		}
 
 		// movePhase redistributes, for every k-cluster, the messages

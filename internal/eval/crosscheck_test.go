@@ -22,8 +22,8 @@ func recomputeF(tr *core.Trace, p int) []int64 {
 		}
 		sent := map[int32]int64{}
 		recv := map[int32]int64{}
-		for _, pr := range rec.Pairs {
-			sb, db := pr[0]>>shift, pr[1]>>shift
+		for src, dst := range rec.Pairs.All() {
+			sb, db := src>>shift, dst>>shift
 			if sb != db {
 				sent[sb]++
 				recv[db]++

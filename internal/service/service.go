@@ -117,8 +117,11 @@ type AlgorithmInfo struct {
 
 // AlgorithmsResponse is the GET /v1/algorithms payload.
 type AlgorithmsResponse struct {
-	Schema     string          `json:"schema"`
+	Schema string `json:"schema"`
+	// Engine is the server's default execution engine; Engines lists
+	// every engine a request may select through its "engine" field.
 	Engine     string          `json:"engine"`
+	Engines    []string        `json:"engines"`
 	Algorithms []AlgorithmInfo `json:"algorithms"`
 	Kinds      []Kind          `json:"kinds"`
 	// Topologies and Strategies enumerate the network families and
@@ -187,10 +190,24 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
 
+// engineFor resolves the effective execution engine of a request: its
+// own engine override when set (normalize already validated the name),
+// the server's configured engine otherwise.
+func (s *Server) engineFor(req Request) core.Engine {
+	if req.Engine == "" {
+		return s.engine
+	}
+	eng, err := core.EngineByName(req.Engine)
+	if err != nil {
+		return s.engine // unreachable after normalize; fail safe
+	}
+	return eng
+}
+
 // requestKey namespaces the request's semantic key by the engine, since
 // the engine is part of what was executed.
 func (s *Server) requestKey(req Request) string {
-	return req.Key() + "@" + s.engine.Name()
+	return req.Key() + "@" + s.engineFor(req).Name()
 }
 
 // apiError is the JSON error body of every non-2xx response.
@@ -219,6 +236,7 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	resp := AlgorithmsResponse{
 		Schema:     "nobld/algorithms/v1",
 		Engine:     s.engine.Name(),
+		Engines:    core.EngineNames(),
 		Kinds:      Kinds(),
 		Topologies: network.TopologyNames(),
 		Strategies: network.RouterNames(),

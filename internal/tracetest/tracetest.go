@@ -21,18 +21,18 @@ func Canonical(t testing.TB, tr *core.Trace) []byte {
 	c := &core.Trace{V: tr.V, LogV: tr.LogV, Steps: make([]core.StepRec, len(tr.Steps))}
 	copy(c.Steps, tr.Steps)
 	for i := range c.Steps {
-		if len(c.Steps[i].Pairs) == 0 {
+		if c.Steps[i].Pairs.Len() == 0 {
 			c.Steps[i].Pairs = nil
 			continue
 		}
-		p := append([][2]int32(nil), c.Steps[i].Pairs...)
+		p := c.Steps[i].Pairs.Pairs()
 		sort.Slice(p, func(a, b int) bool {
 			if p[a][0] != p[b][0] {
 				return p[a][0] < p[b][0]
 			}
 			return p[a][1] < p[b][1]
 		})
-		c.Steps[i].Pairs = p
+		c.Steps[i].Pairs = core.PairListOf(p)
 	}
 	var buf bytes.Buffer
 	if err := c.EncodeJSON(&buf); err != nil {
@@ -41,29 +41,49 @@ func Canonical(t testing.TB, tr *core.Trace) []byte {
 	return buf.Bytes()
 }
 
-// EngineEquivalence runs a registry algorithm on both execution engines
+// EngineEquivalence runs a registry algorithm on every execution engine
 // at every given size and asserts byte-identical traces — the check the
 // repository applies to its built-in algorithms and, because it takes any
-// descriptor, to user-registered ones too.  It returns the number of
-// sizes successfully compared.
+// descriptor, to user-registered ones too.  The replay engine is
+// exercised twice against one private schedule store, so each size also
+// asserts the cold (record-and-compile) and warm (pure replay) paths
+// agree with each other and with the reference.  It returns the number
+// of sizes successfully compared.
 func EngineEquivalence(t testing.TB, a alg.Algorithm, sizes []int) int {
 	t.Helper()
 	compared := 0
 	for _, n := range sizes {
 		ref, refErr := a.Run(context.Background(), alg.Spec{Engine: core.GoroutineEngine{}}, n)
 		got, gotErr := a.Run(context.Background(), alg.Spec{Engine: core.BlockEngine{}}, n)
-		if (refErr != nil) != (gotErr != nil) {
-			t.Errorf("%s n=%d: engines disagree on validity: goroutine=%v block=%v", a.Name, n, refErr, gotErr)
+		replay := core.ReplayEngine{Store: core.NewScheduleStore()}
+		cold, coldErr := a.Run(context.Background(), alg.Spec{Engine: replay}, n)
+		warm, warmErr := a.Run(context.Background(), alg.Spec{Engine: replay}, n)
+		if (refErr != nil) != (gotErr != nil) || (refErr != nil) != (coldErr != nil) || (refErr != nil) != (warmErr != nil) {
+			t.Errorf("%s n=%d: engines disagree on validity: goroutine=%v block=%v replay-cold=%v replay-warm=%v",
+				a.Name, n, refErr, gotErr, coldErr, warmErr)
 			continue
 		}
 		if refErr != nil {
-			continue // size invalid for this algorithm on both engines
+			continue // size invalid for this algorithm on every engine
 		}
-		if !bytes.Equal(Canonical(t, ref.Trace), Canonical(t, got.Trace)) {
-			t.Errorf("%s n=%d: BlockEngine trace differs from GoroutineEngine trace", a.Name, n)
-			continue
+		want := Canonical(t, ref.Trace)
+		ok := true
+		for _, alt := range []struct {
+			name string
+			tr   *core.Trace
+		}{
+			{"BlockEngine", got.Trace},
+			{"ReplayEngine (cold)", cold.Trace},
+			{"ReplayEngine (warm)", warm.Trace},
+		} {
+			if !bytes.Equal(want, Canonical(t, alt.tr)) {
+				t.Errorf("%s n=%d: %s trace differs from GoroutineEngine trace", a.Name, n, alt.name)
+				ok = false
+			}
 		}
-		compared++
+		if ok {
+			compared++
+		}
 	}
 	return compared
 }
