@@ -57,12 +57,18 @@ type Spec struct {
 	// Ctx cancels the specification-model run at superstep granularity;
 	// nil disables cancellation.
 	Ctx context.Context
+	// Sink streams the trace out of the run superstep by superstep
+	// instead of accumulating it in memory, bounding peak memory by the
+	// largest superstep rather than the whole trace (see
+	// core.Options.Sink).  The Result then carries a metadata-only
+	// Trace.  nil keeps the in-memory default.
+	Sink core.TraceSink
 }
 
 // RunOptions translates the spec into core run options, for algorithm
 // implementations that call the M(v) runtime directly.
 func (s Spec) RunOptions() core.Options {
-	return core.Options{RecordMessages: s.Record, Engine: s.Engine, Context: s.Ctx}
+	return core.Options{RecordMessages: s.Record, Engine: s.Engine, Context: s.Ctx, Sink: s.Sink}
 }
 
 // Result is what running a registered algorithm yields: the communication

@@ -8,13 +8,20 @@
 //	nobl run E1 [E3 ...]          run selected experiments
 //	nobl run all                  run the full suite
 //	nobl algorithms               enumerate traceable algorithms
-//	nobl trace <alg> -n N -o F    run an algorithm, write its trace JSON
+//	nobl trace <alg> -n N -o F    run an algorithm, stream its trace JSON
+//	                              (-o - pipes to stdout; -record keeps
+//	                              message pairs; peak memory is the
+//	                              largest superstep, not the trace)
 //	nobl stat F [-p P] [-sigma σ] analyze a stored trace on M(p,σ) and the
-//	                              network presets
+//	                              network presets in one streaming pass
+//	                              ('-' reads stdin; -cache adds the
+//	                              single-pass ideal-cache miss curve)
 //	nobl benchnet [-p P] [-o F]   benchmark the routing engine across every
 //	                              topology and strategy (JSON report)
 //	nobl benchcore [-o F]         benchmark every execution engine on the
-//	                              superstep workload (JSON report)
+//	                              superstep workload (JSON report);
+//	                              -traceout adds the streaming-trace
+//	                              memory report (BENCH_trace.json)
 //
 // Flags:
 //
@@ -37,17 +44,20 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"netoblivious/alg"
+	"netoblivious/internal/cachesim"
 	"netoblivious/internal/core"
 	"netoblivious/internal/dbsp"
 	"netoblivious/internal/eval"
@@ -596,15 +606,136 @@ func measureNsOp(fn func() error) (float64, int, error) {
 	return float64(time.Since(start).Nanoseconds()) / float64(iters), iters, nil
 }
 
+// traceBenchReport is the schema of `nobl benchcore -traceout`: the peak
+// live heap of a recorded run streamed into a sink, next to the bytes
+// the same trace would occupy accumulated in memory.  CI archives it as
+// BENCH_trace.json and gates peak_delta_bytes against a fixed budget
+// independent of n — the O(largest superstep) streaming guarantee.
+type traceBenchReport struct {
+	Schema           string  `json:"schema"`
+	Algorithm        string  `json:"algorithm"`
+	N                int     `json:"n"`
+	V                int     `json:"v"`
+	Supersteps       int     `json:"supersteps"`
+	Messages         int64   `json:"messages"`
+	InMemBytes       int64   `json:"inmem_bytes"`
+	LargestStepBytes int64   `json:"largest_step_bytes"`
+	BaselineBytes    uint64  `json:"baseline_bytes"`
+	PeakLiveBytes    uint64  `json:"peak_live_bytes"`
+	PeakDeltaBytes   uint64  `json:"peak_delta_bytes"`
+	WallMs           float64 `json:"wall_ms"`
+}
+
+// memSampleSink wraps a sink and samples the live heap at every
+// superstep boundary — before the wrapped sink consumes the record, so
+// the sample includes the pending superstep's pairs.  It also sums what
+// an in-memory trace of the same run would occupy, giving the
+// streamed-vs-accumulated comparison without ever accumulating.
+type memSampleSink struct {
+	inner    core.TraceSink
+	steps    int
+	messages int64
+	inmem    int64
+	largest  int64
+	peak     uint64
+}
+
+func (s *memSampleSink) BeginTrace(v, logV int) error { return s.inner.BeginTrace(v, logV) }
+
+func (s *memSampleSink) WriteStep(rec core.StepRec) error {
+	sz := int64(64 + len(rec.Degree)*8 + rec.Pairs.Len()*8)
+	s.inmem += sz
+	if sz > s.largest {
+		s.largest = sz
+	}
+	s.steps++
+	s.messages += rec.Messages
+	runtime.GC() // drop garbage so the sample is live bytes, not churn
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.peak {
+		s.peak = ms.HeapAlloc
+	}
+	return s.inner.WriteStep(rec)
+}
+
+func (s *memSampleSink) EndTrace(runErr error) error { return s.inner.EndTrace(runErr) }
+
+// runTraceBench measures the streaming footprint of one recorded run and
+// writes the traceBenchReport.
+func runTraceBench(path, algName string, n int) int {
+	a, ok := harness.TraceAlgorithmByName(algName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nobl benchcore: unknown -tracealg %q (see 'nobl algorithms')\n", algName)
+		return 1
+	}
+	if err := a.ValidSize(n); err != nil {
+		fmt.Fprintf(os.Stderr, "nobl benchcore: -tracen: %v\n", err)
+		return 2
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline := ms.HeapAlloc
+	sink := &memSampleSink{inner: &core.DiscardSink{}}
+	start := time.Now()
+	run, err := a.Run(context.Background(), alg.Spec{Record: true, Sink: sink}, n)
+	wall := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
+		return 1
+	}
+	rep := traceBenchReport{
+		Schema:           "nobl/bench-trace/v1",
+		Algorithm:        a.Name,
+		N:                n,
+		V:                run.Trace.V,
+		Supersteps:       sink.steps,
+		Messages:         sink.messages,
+		InMemBytes:       sink.inmem,
+		LargestStepBytes: sink.largest,
+		BaselineBytes:    baseline,
+		PeakLiveBytes:    sink.peak,
+		WallMs:           wall.Seconds() * 1e3,
+	}
+	if sink.peak > baseline {
+		rep.PeakDeltaBytes = sink.peak - baseline
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(file)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		file.Close()
+		fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
+		return 1
+	}
+	if err := file.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "nobl benchcore: %s n=%d streamed in %.0f ms: peak live %.1f MiB over baseline (in-memory trace would hold %.1f MiB)\n",
+		a.Name, n, rep.WallMs, float64(rep.PeakDeltaBytes)/(1<<20), float64(rep.InMemBytes)/(1<<20))
+	return 0
+}
+
 // runBenchCore benchmarks every selectable engine on the superstep
 // workload across machine sizes.  The replay engine is measured warm:
 // one unmeasured run records, compiles and caches the schedule, so its
 // ns/op is the steady-state replay cost the schedule cache delivers.
+// With -traceout it additionally measures the streaming-trace footprint
+// (traceBenchReport) of one large recorded run.
 func runBenchCore(args []string) int {
 	fs := flag.NewFlagSet("benchcore", flag.ExitOnError)
 	sizesFlag := fs.String("sizes", "10,12,14", "comma-separated log2 machine sizes")
 	reps := fs.Int("reps", 3, "repetitions per case (fastest ns/op wins)")
 	out := fs.String("o", "", "output file (default stdout)")
+	traceOut := fs.String("traceout", "", "also write a streaming-trace memory report (BENCH_trace.json) to this file")
+	traceAlg := fs.String("tracealg", "fft", "algorithm for the -traceout probe")
+	traceN := fs.Int("tracen", 1<<16, "input size for the -traceout probe")
 	_ = fs.Parse(args)
 	var sizes []int
 	for _, s := range strings.Split(*sizesFlag, ",") {
@@ -679,13 +810,23 @@ func runBenchCore(args []string) int {
 		fmt.Fprintf(os.Stderr, "nobl benchcore: %v\n", err)
 		return 1
 	}
+	if *traceOut != "" {
+		if code := runTraceBench(*traceOut, *traceAlg, *traceN); code != 0 {
+			return code
+		}
+	}
 	return 0
 }
 
+// runTrace streams the run's supersteps straight into the output codec:
+// the trace is never accumulated in memory, so peak footprint is the
+// largest superstep, not n.  The streamed file is byte-identical to the
+// in-memory Trace.EncodeJSON of the same run.
 func runTrace(engine core.Engine, args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	n := fs.Int("n", 1024, "input size (power of two; matmul needs a square)")
-	out := fs.String("o", "", "output file (default stdout)")
+	out := fs.String("o", "-", "output file ('-' = stdout)")
+	record := fs.Bool("record", false, "record message pairs ('nobl stat -cache' needs them; grows the trace)")
 	name, rest := splitName(args)
 	_ = fs.Parse(rest)
 	if name == "" && fs.NArg() == 1 {
@@ -706,27 +847,25 @@ func runTrace(engine core.Engine, args []string) {
 		fmt.Fprintf(os.Stderr, "nobl trace: %v\nusage: nobl trace %s -n N; run 'nobl algorithms' for size constraints\n", err, a.Name)
 		os.Exit(2)
 	}
-	run, err := a.Run(context.Background(), alg.Spec{Engine: engine}, *n)
+	var sink core.TraceSink
+	if *out == "" || *out == "-" {
+		// Stdout: the JSON writer encodes each superstep as it completes
+		// and releases its pooled pairs; nothing else references them.
+		jw := core.NewTraceJSONWriter(os.Stdout)
+		jw.ReleasePairs = true
+		sink = jw
+	} else {
+		// A file sink writes to <path>.tmp and renames on success, so a
+		// failed or interrupted run never leaves a truncated trace file.
+		sink = core.NewTraceFileSink(*out, core.TraceJSON)
+	}
+	run, err := a.Run(context.Background(), alg.Spec{Engine: engine, Record: *record, Sink: sink}, *n)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
 		os.Exit(1)
 	}
-	tr := run.Trace
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := tr.EncodeJSON(w); err != nil {
-		fmt.Fprintf(os.Stderr, "nobl trace: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "nobl: %s on M(%d) via %s: %d supersteps, %d messages\n",
+	tr := run.Trace // metadata-only: the steps went to the sink
+	fmt.Fprintf(os.Stderr, "nobl: %s on M(%d) via %s: %d supersteps, %d messages (streamed)\n",
 		a.Name, tr.V, engine.Name(), tr.NumSupersteps(), tr.TotalMessages())
 }
 
@@ -739,49 +878,134 @@ func formatSizes(sizes []int) string {
 	return strings.Join(parts, ", ")
 }
 
+// Cache-simulation parameters of `nobl stat -cache`, matching the nobld
+// analysis service: 8-word VP contexts, 8-word cache lines, and a sweep
+// of capacities from 256 words to 64K words.
+const (
+	statCtxWords   = 8
+	statBlockWords = 8
+)
+
+var statCacheSizes = []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16}
+
+// runStat analyzes a stored trace in one streaming pass: the fold
+// summary (O(log²v) memory) powers every M(p,σ) point and D-BSP preset,
+// and the optional single-pass cache simulation shares the same pass —
+// so arbitrarily large trace files, and stdin pipes, work in bounded
+// memory.
 func runStat(args []string) {
 	fs := flag.NewFlagSet("stat", flag.ExitOnError)
 	p := fs.Int("p", 0, "fold onto p processors (default: all powers of two)")
 	sigma := fs.Float64("sigma", 0, "latency/synchronization cost σ")
-	name, rest := splitName(args)
+	cache := fs.Bool("cache", false, "also simulate the ideal-cache miss curve (the trace must be recorded with 'nobl trace -record')")
+	var name string
+	rest := args
+	if len(args) > 0 && args[0] == "-" {
+		// A leading "-" is the stdin pseudo-file, not a flag.
+		name, rest = "-", args[1:]
+	} else {
+		name, rest = splitName(args)
+	}
 	_ = fs.Parse(rest)
 	if name == "" && fs.NArg() == 1 {
 		name = fs.Arg(0)
 	}
 	if name == "" {
-		fmt.Fprintln(os.Stderr, "nobl stat: need exactly one trace file")
+		fmt.Fprintln(os.Stderr, "nobl stat: need exactly one trace file ('-' = stdin)")
 		os.Exit(2)
 	}
-	f, err := os.Open(name)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "nobl stat: %v\n", err)
 		os.Exit(1)
 	}
-	defer f.Close()
-	tr, err := core.DecodeJSON(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nobl stat: %v\n", err)
-		os.Exit(1)
+	var src core.TraceSource
+	var err error
+	if name == "-" {
+		src, err = core.NewTraceSource(os.Stdin)
+	} else {
+		src, err = core.OpenTraceFile(name)
 	}
-	fmt.Printf("trace: v=%d, %d supersteps, %d messages\n\n", tr.V, tr.NumSupersteps(), tr.TotalMessages())
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "nobl stat: %v\nusage: nobl stat <file> [-p P] [-sigma σ] [-cache] ('-' reads from stdin)\n", err)
+			os.Exit(2)
+		}
+		fail(err)
+	}
+	defer src.Close()
+	fsum, err := core.NewFoldSummary(src.V())
+	if err != nil {
+		fail(err)
+	}
+	// Validate -p against the machine width before streaming anything.
+	if *p != 0 {
+		if _, err := fsum.TryF(*p); err != nil {
+			fmt.Fprintf(os.Stderr, "nobl stat: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var cs *cachesim.CurveSim
+	if *cache {
+		if cs, err = cachesim.NewCurveSim(src.V(), statCtxWords, statBlockWords, statCacheSizes); err != nil {
+			fail(err)
+		}
+	}
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(err)
+		}
+		if err := fsum.Observe(rec); err != nil {
+			fail(err)
+		}
+		if cs != nil {
+			if err := cs.Step(rec); err != nil {
+				if errors.Is(err, cachesim.ErrNoPairs) {
+					fmt.Fprintf(os.Stderr, "nobl stat: %v\nre-record with 'nobl trace <alg> -record' to enable -cache\n", err)
+					os.Exit(1)
+				}
+				fail(err)
+			}
+		}
+	}
+	fmt.Printf("trace: v=%d, %d supersteps, %d messages\n\n", fsum.V(), fsum.NumSupersteps(), fsum.TotalMessages())
 	ps := []int{}
 	if *p != 0 {
 		ps = append(ps, *p)
 	} else {
-		for q := 2; q <= tr.V; q *= 2 {
+		for q := 2; q <= fsum.V(); q *= 2 {
 			ps = append(ps, q)
 		}
 	}
 	fmt.Printf("%-8s %-14s %-10s %-10s %-12s %-12s\n", "p", "H(n,p,σ)", "α", "γ", "supersteps", "messages")
 	for _, q := range ps {
-		pt := eval.Measure(tr, q, *sigma)
+		pt := eval.MeasureSummary(fsum, q, *sigma)
 		fmt.Printf("%-8d %-14.0f %-10.3f %-10.3f %-12d %-12d\n",
 			q, pt.H, pt.Alpha, pt.Gamma, pt.Supersteps, pt.MessageLoad)
 	}
-	pq := ps[len(ps)-1]
-	fmt.Printf("\ncommunication time D(n,%d,g,ℓ) on the network presets:\n", pq)
-	for _, pr := range dbsp.Presets(pq) {
-		fmt.Printf("  %-20s D = %.0f\n", pr.Name, dbsp.CommTime(tr, pr))
+	if len(ps) > 0 {
+		pq := ps[len(ps)-1]
+		fmt.Printf("\ncommunication time D(n,%d,g,ℓ) on the network presets:\n", pq)
+		for _, pr := range dbsp.Presets(pq) {
+			fmt.Printf("  %-20s D = %.0f\n", pr.Name, dbsp.CommTimeSummary(fsum, pr))
+		}
+	}
+	if cs != nil {
+		accesses := cs.Accesses()
+		misses := cs.Misses()
+		fmt.Printf("\nideal-cache miss curve (context %d words, line %d words, %d accesses):\n",
+			statCtxWords, statBlockWords, accesses)
+		fmt.Printf("  %-12s %-12s %s\n", "M (words)", "misses", "miss rate")
+		for i, m := range statCacheSizes {
+			rate := 0.0
+			if accesses > 0 {
+				rate = float64(misses[i]) / float64(accesses)
+			}
+			fmt.Printf("  %-12d %-12d %.4f\n", m, misses[i], rate)
+		}
 	}
 }
 
@@ -801,14 +1025,21 @@ usage:
   nobl [flags] list
   nobl [flags] run <ID>... | all
   nobl algorithms
-  nobl trace <alg> [-n N] [-o file]
-  nobl stat <file> [-p P] [-sigma σ]
+  nobl trace <alg> [-n N] [-o file|-] [-record]
+              stream the run's trace as JSON ('-' = stdout); memory
+              stays O(largest superstep), so n beyond RAM works
+  nobl stat <file>|- [-p P] [-sigma σ] [-cache]
+              analyze a trace file or stdin pipe in one streaming
+              pass; -cache adds the ideal-cache miss curve (needs a
+              trace recorded with -record)
   nobl benchnet [-p P] [-h H] [-reps R] [-o file]
               routing-engine throughput (packet-hops/sec) across every
               topology x strategy, as a JSON report
   nobl benchcore [-sizes 10,12,14] [-reps R] [-o file]
+              [-traceout file [-tracealg A] [-tracen N]]
               execution-engine latency (ns/op per engine and machine
-              size, plus the warm-replay speedup), as a JSON report
+              size, plus the warm-replay speedup), as a JSON report;
+              -traceout adds a streaming-trace peak-memory report
   nobl remote <algorithms|analyze|job|metrics> [-addr URL] ...
               target a shared nobld daemon instead of computing locally
               (analyze <alg> [-n N] [-kind K] [-p P] [-sigma σ] [-wait]

@@ -54,7 +54,11 @@ func main() {
 	workers := flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 1024, "max queued jobs before 503")
 	cacheEntries := flag.Int("cache-entries", 512, "result cache LRU capacity (-1 = unbounded)")
-	traceEntries := flag.Int("trace-entries", 64, "trace cache LRU capacity (-1 = unbounded)")
+	traceEntries := flag.Int("trace-entries", 64, "trace cache LRU capacity (-1 = unbounded; ignored with -trace-mem-budget)")
+	traceMemBudget := flag.Int64("trace-mem-budget", 0,
+		"trace cache memory budget in bytes; beyond it, runs spill to disk and page back on demand (0 = count-based eviction)")
+	traceSpillDir := flag.String("trace-spill-dir", "",
+		"directory for spilled traces (default: a fresh temp dir; only with -trace-mem-budget)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job execution timeout")
 	engineName := flag.String("engine", core.DefaultEngine().Name(),
 		"execution engine: "+strings.Join(core.EngineNames(), "|"))
@@ -65,14 +69,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nobld: %v\n", err)
 		os.Exit(2)
 	}
-	srv := service.New(service.Config{
-		Workers:      *workers,
-		QueueLimit:   *queue,
-		CacheEntries: *cacheEntries,
-		TraceEntries: *traceEntries,
-		JobTimeout:   *timeout,
-		Engine:       engine,
+	srv, err := service.New(service.Config{
+		Workers:        *workers,
+		QueueLimit:     *queue,
+		CacheEntries:   *cacheEntries,
+		TraceEntries:   *traceEntries,
+		TraceMemBudget: *traceMemBudget,
+		TraceSpillDir:  *traceSpillDir,
+		JobTimeout:     *timeout,
+		Engine:         engine,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobld: %v\n", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -82,7 +82,10 @@ func main() {
 
 	// 5. The nobld daemon serves it with full metadata — in process here,
 	// but `nobld` on a shared host works identically.
-	srv := service.New(service.Config{Workers: 2})
+	srv, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

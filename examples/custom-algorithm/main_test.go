@@ -69,7 +69,10 @@ func TestTransposeSelfChecks(t *testing.T) {
 // simulable, and early-rejected on bad sizes with the size doc in the
 // 400 body — all without any internal code referencing it.
 func TestTransposeThroughDaemon(t *testing.T) {
-	srv := service.New(service.Config{Workers: 2})
+	srv, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

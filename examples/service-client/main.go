@@ -31,7 +31,10 @@ func main() {
 
 	base := *addr
 	if base == "" {
-		srv := service.New(service.Config{Workers: 2})
+		srv, err := service.New(service.Config{Workers: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()

@@ -148,6 +148,100 @@ func TestMissCurveMonotone(t *testing.T) {
 	}
 }
 
+// TestMissCurveGolden: the single-pass CurveSim must agree exactly with
+// the per-size re-simulation it replaced, across sweeps with unsorted
+// and duplicate sizes, for several recorded traces.
+func TestMissCurveGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	traces := map[string]*core.Trace{}
+	{
+		n := 256
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64(), 0)
+		}
+		res, err := fft.Transform(x, fft.Options{Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces["fft-recursive"] = res.Trace
+		it, err := fft.TransformIterative(x, fft.Options{Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces["fft-iterative"] = it.Trace
+	}
+	{
+		tr, err := core.RunOpt(16, func(vp *core.VP[int]) {
+			for step := 0; step < 6; step++ {
+				vp.Send(vp.ID()^(1<<(step%4)), step)
+				vp.Sync(3 - step%4)
+			}
+		}, core.Options{RecordMessages: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces["xor-mesh"] = tr
+	}
+	sweeps := [][]int{
+		{64},
+		{64, 256, 1024, 4096},
+		{4096, 64, 1024, 256},    // unsorted
+		{256, 64, 256, 4096, 64}, // duplicates
+		{8, 16, 24, 32, 1 << 20}, // tiny through larger-than-footprint
+	}
+	for name, tr := range traces {
+		for _, sizes := range sweeps {
+			want, err := missCurveReference(tr, 4, 8, sizes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MissCurve(tr, 4, 8, sizes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s sizes=%v: single-pass curve %v, reference %v", name, sizes, got, want)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestCurveSimAccesses: every size of a sweep shares one address
+// stream, so CurveSim's access count must match a plain simulation's.
+func TestCurveSimAccesses(t *testing.T) {
+	tr, err := core.RunOpt(8, func(vp *core.VP[int]) {
+		vp.Send(vp.ID()^1, 1)
+		vp.Sync(0)
+	}, core.Options{RecordMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewCurveSim(tr.V, 4, 8, []int{64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Steps {
+		if err := cs.Step(&tr.Steps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := New(64, 8)
+	st, err := SimulateTrace(tr, 4, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Accesses() != st.Accesses {
+		t.Errorf("CurveSim accesses %d, SimulateTrace %d", cs.Accesses(), st.Accesses)
+	}
+	if cs.Words() != st.Words {
+		t.Errorf("CurveSim words %d, SimulateTrace %d", cs.Words(), st.Words)
+	}
+}
+
 // TestSection6Conjecture: the recursive FFT's sequential simulation incurs
 // no more misses than the iterative butterfly's across a band of cache
 // sizes — fine superstep labels become cache locality, the mechanism of

@@ -669,7 +669,7 @@ func (b *blockRun[P]) mergeStep() {
 			}
 		}
 	}
-	if err := m.trace.merge(b.stepIdx, label, levelMax, b.stepMsgs, pairs); err != nil {
+	if err := m.trace.merge(b.stepIdx, label, levelMax, b.stepMsgs, pairs, m.v); err != nil {
 		m.fail(err)
 		return
 	}

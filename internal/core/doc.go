@@ -82,6 +82,40 @@
 // (SharedScheduleStore) by default.  Cancellation during a compile run
 // is never memoized: the next caller recompiles.
 //
+// # Streaming traces
+//
+// By default a run accumulates its whole Trace in memory.  For input
+// sizes whose trace exceeds RAM, Options.Sink streams it instead: every
+// engine hands each completed StepRec to the TraceSink at the barrier
+// that completes it and retains nothing, so the run's peak trace
+// footprint is the largest superstep, not the total.  The sink side of
+// the pipeline:
+//
+//   - TraceSink implementations: an accumulating *Trace (the in-memory
+//     default expressed as a sink), DiscardSink (measurement), the
+//     codec writers TraceJSONWriter and TraceBinaryWriter, and
+//     TraceFileSink (atomic tmp-and-rename file output in either
+//     format, discarding partial output when the run fails);
+//   - the streamed JSON is byte-identical to Trace.EncodeJSON of the
+//     same run, so stored traces are indistinguishable from in-memory
+//     encodes; the binary format ("NOBTRC01") is the compact spill
+//     representation reusing the schedule's flat column layout;
+//   - TraceSource is the reading half — Trace.Source, NewTraceSource
+//     (format-sniffing stream reader), OpenTraceFile — over which the
+//     single-pass consumers run: Summarize folds a source into a
+//     FoldSummary, the O(log²v) accumulator from which H(n,p,σ),
+//     wiseness, fullness and the D-BSP communication time are computed
+//     without materializing the trace (eval.MeasureSummary,
+//     dbsp.CommTimeSummary), and the cache simulator's single-pass
+//     sweep (cachesim.CurveSim) consumes records the same way;
+//   - released pair records recycle their chunk storage through an
+//     internal pool, so a streaming recorded run reaches a steady state
+//     with near-zero pair allocation.
+//
+// Sinks see BeginTrace exactly once, WriteStep per superstep in order,
+// and EndTrace exactly once with the run's error — see the TraceSink
+// contract for ownership rules.
+//
 // # Determinism guarantees
 //
 // Engines differ only in scheduling cost, never in observable semantics.

@@ -42,6 +42,16 @@ type Options struct {
 	// request stops burning CPU within one superstep.  nil disables
 	// cancellation.
 	Context context.Context
+
+	// Sink streams the trace instead of accumulating it: every completed
+	// superstep record is handed to the sink at the barrier completing
+	// it, and RunOpt returns a metadata-only Trace (dimensions plus
+	// NumSupersteps/TotalMessages counters, empty Steps).  With a
+	// file-backed sink a run's peak memory is O(largest superstep)
+	// rather than O(total messages), which is what lets `nobl trace`
+	// record sizes whose full Trace would not fit in RAM.  nil keeps the
+	// classic accumulate-in-memory behaviour.
+	Sink TraceSink
 }
 
 // Program is the code executed by every virtual processor of M(v).  The
@@ -328,7 +338,7 @@ func (m *machine[P]) deliver(label, first, size, step int) error {
 			levelMax[jj] = int64(mx)
 		}
 	}
-	return m.trace.merge(step, label, levelMax, total, pairs)
+	return m.trace.merge(step, label, levelMax, total, pairs, size)
 }
 
 // ctxErr reports the run context's cancellation, wrapped so callers can
@@ -451,35 +461,58 @@ func RunOpt[P any](v int, prog Program[P], opts Options) (*Trace, error) {
 	case *ReplayEngine:
 		return runReplay(v, prog, opts, *e)
 	}
-	m := newMachine[P](v, opts)
-	switch e := eng.(type) {
-	case GoroutineEngine:
-		m.runGoroutineEngine(prog)
-	case *GoroutineEngine:
-		m.runGoroutineEngine(prog)
-	case BlockEngine:
-		runBlockEngine(m, prog, e.workerCount(v))
-	case *BlockEngine:
-		runBlockEngine(m, prog, e.workerCount(v))
+	switch eng.(type) {
+	case GoroutineEngine, *GoroutineEngine, BlockEngine, *BlockEngine:
 	default:
 		return nil, fmt.Errorf("core: unknown engine %q", eng.Name())
 	}
-	m.errMu.Lock()
-	err := m.err
-	m.errMu.Unlock()
-	if err != nil {
-		return nil, err
+	m := newMachine[P](v, opts)
+	if opts.Sink != nil {
+		if err := opts.Sink.BeginTrace(v, m.logV); err != nil {
+			return nil, fmt.Errorf("core: trace sink: %w", err)
+		}
+		m.trace.sink = opts.Sink
 	}
-	// The label-sequence restriction also requires every VP to execute
-	// the same number of supersteps.
-	steps := m.vps[0].step
-	for i := range m.vps {
-		if m.vps[i].step != steps {
-			return nil, fmt.Errorf("core: VPs executed different numbers of supersteps (%d vs %d on VP %d)", steps, m.vps[i].step, m.vps[i].id)
+	runErr := func() error {
+		switch e := eng.(type) {
+		case GoroutineEngine, *GoroutineEngine:
+			m.runGoroutineEngine(prog)
+		case BlockEngine:
+			runBlockEngine(m, prog, e.workerCount(v))
+		case *BlockEngine:
+			runBlockEngine(m, prog, e.workerCount(v))
+		}
+		m.errMu.Lock()
+		err := m.err
+		m.errMu.Unlock()
+		if err != nil {
+			return err
+		}
+		// The label-sequence restriction also requires every VP to execute
+		// the same number of supersteps.
+		steps := m.vps[0].step
+		for i := range m.vps {
+			if m.vps[i].step != steps {
+				return fmt.Errorf("core: VPs executed different numbers of supersteps (%d vs %d on VP %d)", steps, m.vps[i].step, m.vps[i].id)
+			}
+		}
+		if got := m.trace.recordedSteps(); got != steps {
+			return fmt.Errorf("core: internal error: %d supersteps executed but %d recorded", steps, got)
+		}
+		if pending := m.trace.pendingSteps(); pending != 0 {
+			return fmt.Errorf("core: internal error: %d supersteps still pending after the run completed", pending)
+		}
+		return nil
+	}()
+	// The sink always sees its EndTrace — a failed or cancelled run is
+	// how file sinks know to discard partial output.
+	if opts.Sink != nil {
+		if eerr := opts.Sink.EndTrace(runErr); eerr != nil && runErr == nil {
+			runErr = fmt.Errorf("core: trace sink: %w", eerr)
 		}
 	}
-	if steps != len(m.trace.Steps) {
-		return nil, fmt.Errorf("core: internal error: %d supersteps executed but %d recorded", steps, len(m.trace.Steps))
+	if runErr != nil {
+		return nil, runErr
 	}
 	return m.trace, nil
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"iter"
+	"slices"
+	"sync"
 )
 
 // pairChunkLen is the pair capacity of one PairList chunk: 4096 pairs =
@@ -14,10 +16,28 @@ import (
 const pairChunkLen = 4096
 
 // pairChunk is one columnar segment of a PairList: parallel source and
-// destination columns of equal length.
+// destination columns of equal length.  pooled marks chunks obtained
+// from pairChunkPool: only those are ever returned to it by Release,
+// which keeps foreign columns — the replay engine's shared compiled
+// columns wrapped by pairListOver, or undersized hint chunks — out of
+// the pool no matter how lists are spliced together.
 type pairChunk struct {
 	src, dst []int32
+	pooled   bool
 }
+
+// pairChunkPool recycles full-size chunks so a streaming run — where a
+// sink consumes and Releases each superstep's pairs at the barrier —
+// stops allocating two fresh 16 KiB columns per 4096 messages per
+// superstep.  Non-streaming runs retain their traces, never Release,
+// and simply bypass the pool's benefit.
+var pairChunkPool = sync.Pool{New: func() any {
+	return &pairChunk{
+		src:    make([]int32, 0, pairChunkLen),
+		dst:    make([]int32, 0, pairChunkLen),
+		pooled: true,
+	}
+}}
 
 // PairList is the chunked, columnar record of a superstep's message
 // (src, dst) pairs.  Chunks are append-only and immutable once a run
@@ -27,23 +47,54 @@ type pairChunk struct {
 // The JSON form is the flat [[src, dst], ...] array the pre-columnar
 // trace format used, so archived traces decode unchanged.
 type PairList struct {
-	chunks []pairChunk
+	chunks []*pairChunk
 	n      int
 }
 
 // NewPairList returns an empty list.  hint, when positive, pre-sizes the
 // first chunk for hint pairs (clipped to the chunk capacity) so callers
 // that know a superstep's message count — the engines do — avoid every
-// intermediate growth step.
+// intermediate growth step.  A hint of at least a full chunk draws from
+// the chunk pool.
 func NewPairList(hint int) *PairList {
 	p := &PairList{}
 	if hint > 0 {
-		if hint > pairChunkLen {
-			hint = pairChunkLen
-		}
-		p.chunks = []pairChunk{{src: make([]int32, 0, hint), dst: make([]int32, 0, hint)}}
+		p.chunks = append(p.chunks, newPairChunk(hint))
 	}
 	return p
+}
+
+// newPairChunk returns an empty chunk with room for hint pairs: pooled
+// full-size chunks for hint >= pairChunkLen (or unknown hints <= 0), a
+// private right-sized allocation below that.
+func newPairChunk(hint int) *pairChunk {
+	if hint <= 0 || hint >= pairChunkLen {
+		return pairChunkPool.Get().(*pairChunk)
+	}
+	return &pairChunk{src: make([]int32, 0, hint), dst: make([]int32, 0, hint)}
+}
+
+// Release returns the list's pooled chunks to the chunk pool and empties
+// the list.  Call it only when the pairs are provably dead — a trace
+// sink that has finished encoding a superstep it owns.  Chunks that did
+// not come from the pool (replay-shared columns, undersized hint chunks)
+// are left for the garbage collector.  Releasing a nil or empty list is
+// a no-op; releasing the same pairs twice is a caller bug that corrupts
+// the pool, which is why only the codec sinks ever call this.
+func (p *PairList) Release() {
+	if p == nil {
+		return
+	}
+	for i, c := range p.chunks {
+		if c.pooled {
+			c.src = c.src[:0]
+			c.dst = c.dst[:0]
+			pairChunkPool.Put(c)
+		}
+		p.chunks[i] = nil
+	}
+	p.chunks = nil
+	p.n = 0
 }
 
 // pairListOver wraps existing parallel columns as a single-chunk list
@@ -57,7 +108,19 @@ func pairListOver(src, dst []int32) *PairList {
 	if len(src) == 0 {
 		return &PairList{}
 	}
-	return &PairList{chunks: []pairChunk{{src: src, dst: dst}}, n: len(src)}
+	return &PairList{chunks: []*pairChunk{{src: src, dst: dst}}, n: len(src)}
+}
+
+// alias returns a fresh list header over the same chunks, for handing
+// shared immutable pairs to a consumer that owns (and may Release) its
+// records: releasing the alias leaves the original list untouched, and
+// its foreign chunks are never pooled.  The streaming replay path uses
+// this to share one compiled column pair with every sink.
+func (p *PairList) alias() *PairList {
+	if p.Len() == 0 {
+		return &PairList{}
+	}
+	return &PairList{chunks: slices.Clone(p.chunks), n: p.n}
 }
 
 // Len returns the number of recorded pairs.  A nil list is empty.
@@ -71,12 +134,9 @@ func (p *PairList) Len() int {
 // Append records one (src, dst) pair.
 func (p *PairList) Append(src, dst int32) {
 	if len(p.chunks) == 0 || len(p.chunks[len(p.chunks)-1].src) == cap(p.chunks[len(p.chunks)-1].src) {
-		p.chunks = append(p.chunks, pairChunk{
-			src: make([]int32, 0, pairChunkLen),
-			dst: make([]int32, 0, pairChunkLen),
-		})
+		p.chunks = append(p.chunks, newPairChunk(0))
 	}
-	c := &p.chunks[len(p.chunks)-1]
+	c := p.chunks[len(p.chunks)-1]
 	c.src = append(c.src, src)
 	c.dst = append(c.dst, dst)
 	p.n++

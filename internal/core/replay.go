@@ -157,6 +157,57 @@ func (s *Schedule) Replay(record bool) *Trace {
 	return tr
 }
 
+// replayTo is Replay in streaming form: every superstep record is
+// handed to the sink as it is reconstructed, so a warm replay of an
+// arbitrarily long schedule runs in O(largest superstep) memory.  The
+// returned Trace is the metadata-only form of a streaming run.  Pair
+// records are aliases of the schedule's immutable compiled columns —
+// shared, never copied, and safe for sinks that Release what they own.
+func (s *Schedule) replayTo(sink TraceSink, record bool) (*Trace, error) {
+	if err := sink.BeginTrace(s.v, s.logV); err != nil {
+		return nil, fmt.Errorf("core: trace sink: %w", err)
+	}
+	meta := &Trace{V: s.v, LogV: s.logV, sink: sink}
+	ar := replayArenas.Get().(*replayArena)
+	if cap(ar.buf) < s.maxMsgs {
+		ar.buf = make([]int32, s.maxMsgs)
+	}
+	var runErr error
+	for i := range s.steps {
+		st := &s.steps[i]
+		deg := make([]int64, s.logV+1)
+		copy(deg, st.degree)
+		rec := StepRec{Label: st.label, Degree: deg, Messages: st.messages}
+		if record && st.pairs.Len() > 0 {
+			rec.Pairs = st.pairs.alias()
+		}
+		if len(st.srcCol) > 0 {
+			inbox := ar.buf[:len(st.srcCol)]
+			rs := st.rowStart
+			for d := 0; d < s.v; d++ {
+				lo, hi := rs[d], rs[d+1]
+				if lo < hi {
+					copy(inbox[lo:hi], st.srcCol[lo:hi])
+				}
+			}
+		}
+		if err := sink.WriteStep(rec); err != nil {
+			runErr = fmt.Errorf("core: trace sink: %w", err)
+			break
+		}
+		meta.flushed++
+		meta.flushedMsgs += rec.Messages
+	}
+	replayArenas.Put(ar)
+	if eerr := sink.EndTrace(runErr); eerr != nil && runErr == nil {
+		runErr = fmt.Errorf("core: trace sink: %w", eerr)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return meta, nil
+}
+
 // ScheduleStore is a bounded, single-flight cache of compiled schedules,
 // keyed like the trace store ("algorithm/n=N@replay" plus a per-run
 // RunOpt sequence suffix).  One process-wide store (SharedScheduleStore)
@@ -348,6 +399,9 @@ func runReplay[P any](v int, prog Program[P], opts Options, re ReplayEngine) (*T
 		if cerr := opts.Context.Err(); cerr != nil {
 			return nil, fmt.Errorf("core: run cancelled: %w", cerr)
 		}
+	}
+	if opts.Sink != nil {
+		return sched.replayTo(opts.Sink, opts.RecordMessages)
 	}
 	return sched.Replay(opts.RecordMessages), nil
 }

@@ -45,10 +45,25 @@ type Trace struct {
 	V int
 	// LogV is log2(V) (0 when V == 1).
 	LogV int
-	// Steps holds one record per superstep, in superstep order.
+	// Steps holds one record per superstep, in superstep order.  In
+	// streaming mode (Options.Sink) it is only the pending window of
+	// supersteps not yet completed by every VP; finished records are
+	// flushed to the sink and removed.
 	Steps []StepRec
 
 	mu sync.Mutex
+
+	// Streaming state, used only when sink is non-nil.  base is the
+	// superstep index of Steps[0]; seen[i] counts the VPs whose cluster
+	// has merged into Steps[i]; flushed and flushedMsgs summarize the
+	// records already handed to the sink, keeping NumSupersteps and
+	// TotalMessages valid on the metadata-only Trace a streaming run
+	// returns.
+	sink        TraceSink
+	base        int
+	seen        []int
+	flushed     int
+	flushedMsgs int64
 }
 
 func newTrace(v, logV int) *Trace {
@@ -57,16 +72,28 @@ func newTrace(v, logV int) *Trace {
 
 // merge folds the metrics of one cluster's barrier completion into the
 // global per-superstep record.  levelMax is indexed by j-label-1 for
-// j in (label, logV].
+// j in (label, logV]; vps is the number of VPs in the merging cluster,
+// which is how streaming mode knows a superstep is complete (all V VPs
+// accounted for) and can be flushed to the sink.  The GoroutineEngine
+// merges once per cluster — clusters run ahead of each other, so the
+// pending window can transiently hold a few supersteps — while the
+// BlockEngine merges whole supersteps and keeps the window at one.
 // Pairs are built by the engines outside the lock and spliced in here —
 // an O(chunks) pointer move, never a per-pair copy.
-func (t *Trace) merge(step, label int, levelMax []int64, msgs int64, pairs *PairList) error {
+func (t *Trace) merge(step, label int, levelMax []int64, msgs int64, pairs *PairList, vps int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for len(t.Steps) <= step {
-		t.Steps = append(t.Steps, StepRec{Label: -1, Degree: make([]int64, t.LogV+1)})
+	idx := step - t.base
+	if idx < 0 {
+		return fmt.Errorf("core: internal error: superstep %d merged after being flushed to the trace sink", step)
 	}
-	rec := &t.Steps[step]
+	for len(t.Steps) <= idx {
+		t.Steps = append(t.Steps, StepRec{Label: -1, Degree: make([]int64, t.LogV+1)})
+		if t.sink != nil {
+			t.seen = append(t.seen, 0)
+		}
+	}
+	rec := &t.Steps[idx]
 	if rec.Label == -1 {
 		rec.Label = label
 	} else if rec.Label != label {
@@ -85,16 +112,66 @@ func (t *Trace) merge(step, label int, levelMax []int64, msgs int64, pairs *Pair
 		}
 		rec.Pairs.Splice(pairs)
 	}
+	if t.sink == nil {
+		return nil
+	}
+	t.seen[idx] += vps
+	return t.flushLocked()
+}
+
+// flushLocked writes the completed prefix of the pending window to the
+// sink, in superstep order, and shifts the window.
+func (t *Trace) flushLocked() error {
+	for len(t.Steps) > 0 && t.seen[0] >= t.V {
+		if t.seen[0] > t.V {
+			return fmt.Errorf("core: internal error: superstep %d merged %d VPs on a machine of %d", t.base, t.seen[0], t.V)
+		}
+		rec := t.Steps[0]
+		if err := t.sink.WriteStep(rec); err != nil {
+			return fmt.Errorf("core: trace sink: %w", err)
+		}
+		t.flushed++
+		t.flushedMsgs += rec.Messages
+		t.base++
+		n := copy(t.Steps, t.Steps[1:])
+		t.Steps[n] = StepRec{}
+		t.Steps = t.Steps[:n]
+		m := copy(t.seen, t.seen[1:])
+		t.seen = t.seen[:m]
+	}
 	return nil
 }
 
-// NumSupersteps returns the number of supersteps executed.
-func (t *Trace) NumSupersteps() int { return len(t.Steps) }
+// recordedSteps returns the number of complete supersteps the trace has
+// accounted for (flushed plus pending), under the lock.
+func (t *Trace) recordedSteps() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushed + len(t.Steps)
+}
+
+// pendingSteps returns the size of the streaming window: supersteps
+// merged by some but not all VPs.  Zero outside streaming mode and at
+// the end of every successful streaming run.
+func (t *Trace) pendingSteps() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink == nil {
+		return 0
+	}
+	return len(t.Steps)
+}
+
+// NumSupersteps returns the number of supersteps executed.  On the
+// metadata-only Trace returned by a streaming run it counts the steps
+// flushed to the sink.
+func (t *Trace) NumSupersteps() int { return t.flushed + len(t.Steps) }
 
 // TotalMessages returns the total number of messages exchanged during the
-// run, including dummy messages.
+// run, including dummy messages and, in streaming mode, the messages of
+// every step already flushed to the sink.
 func (t *Trace) TotalMessages() int64 {
-	var tot int64
+	tot := t.flushedMsgs
 	for i := range t.Steps {
 		tot += t.Steps[i].Messages
 	}

@@ -105,6 +105,16 @@ func CommTime(tr *core.Trace, pr Params) float64 {
 	return d
 }
 
+// CommTimeSummary is CommTime over a FoldSummary: the D-BSP cost of a
+// streamed trace from one Summarize pass, no steps in memory.
+func CommTimeSummary(fs *core.FoldSummary, pr Params) float64 {
+	lp := pr.LogP()
+	if lp > fs.LogV() {
+		panic(fmt.Sprintf("dbsp: machine p=%d larger than specification v=%d", pr.P, fs.V()))
+	}
+	return CommTimeOf(fs.F(pr.P), fs.S(), pr)
+}
+
 // CommTimeOf computes Eq. 2 from explicit F and S vectors (used by the
 // ascend–descend protocol and by hand-built cost models).
 func CommTimeOf(f, s []int64, pr Params) float64 {

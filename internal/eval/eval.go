@@ -36,6 +36,15 @@ type Folding struct {
 	S []int64
 }
 
+// foldView is the accessor pair shared by *core.Trace and
+// *core.FoldSummary; every metric in this package is a function of it,
+// so each has a Trace entry point and a Summary ("Of") entry point over
+// the same loop.
+type foldView interface {
+	F(p int) []int64
+	S() []int64
+}
+
 // Fold computes the folding of a recorded algorithm onto p processors.
 func Fold(tr *core.Trace, p int) Folding {
 	lp := core.Log2(p)
@@ -43,6 +52,16 @@ func Fold(tr *core.Trace, p int) Folding {
 		panic(fmt.Sprintf("eval: Fold: p=%d invalid for v=%d", p, tr.V))
 	}
 	return Folding{P: p, LogP: lp, F: tr.F(p), S: tr.S()}
+}
+
+// FoldOf is Fold over a FoldSummary, so folded metrics of a streamed
+// trace never need the steps in memory.
+func FoldOf(fs *core.FoldSummary, p int) Folding {
+	lp := core.Log2(p)
+	if lp < 1 || lp > fs.LogV() {
+		panic(fmt.Sprintf("eval: FoldOf: p=%d invalid for v=%d", p, fs.V()))
+	}
+	return Folding{P: p, LogP: lp, F: fs.F(p), S: fs.S()}
 }
 
 // H returns the communication complexity H_A(n, p, σ) of the folded
@@ -98,10 +117,23 @@ func Wiseness(tr *core.Trace, p int) float64 {
 	if lp < 1 || lp > tr.LogV {
 		panic(fmt.Sprintf("eval: Wiseness: p=%d invalid for v=%d", p, tr.V))
 	}
-	fp := tr.F(p)
+	return wiseness(tr, p, lp)
+}
+
+// WisenessOf is Wiseness over a FoldSummary.
+func WisenessOf(fs *core.FoldSummary, p int) float64 {
+	lp := core.Log2(p)
+	if lp < 1 || lp > fs.LogV() {
+		panic(fmt.Sprintf("eval: WisenessOf: p=%d invalid for v=%d", p, fs.V()))
+	}
+	return wiseness(fs, p, lp)
+}
+
+func wiseness(fv foldView, p, lp int) float64 {
+	fp := fv.F(p)
 	alpha := 1.0
 	for j := 1; j <= lp; j++ {
-		fj := tr.F(1 << uint(j))
+		fj := fv.F(1 << uint(j))
 		var num, den int64
 		for i := 0; i < j; i++ {
 			num += fj[i]
@@ -131,10 +163,23 @@ func Fullness(tr *core.Trace, p int) float64 {
 	if lp < 1 || lp > tr.LogV {
 		panic(fmt.Sprintf("eval: Fullness: p=%d invalid for v=%d", p, tr.V))
 	}
-	s := tr.S()
+	return fullness(tr, p, lp)
+}
+
+// FullnessOf is Fullness over a FoldSummary.
+func FullnessOf(fs *core.FoldSummary, p int) float64 {
+	lp := core.Log2(p)
+	if lp < 1 || lp > fs.LogV() {
+		panic(fmt.Sprintf("eval: FullnessOf: p=%d invalid for v=%d", p, fs.V()))
+	}
+	return fullness(fs, p, lp)
+}
+
+func fullness(fv foldView, p, lp int) float64 {
+	s := fv.S()
 	gamma := math.Inf(1)
 	for j := 1; j <= lp; j++ {
-		fj := tr.F(1 << uint(j))
+		fj := fv.F(1 << uint(j))
 		var num, den int64
 		for i := 0; i < j; i++ {
 			num += fj[i]
@@ -167,9 +212,22 @@ func CheckFoldingLemma(tr *core.Trace, p int) error {
 	if lp < 1 || lp > tr.LogV {
 		return fmt.Errorf("eval: CheckFoldingLemma: p=%d invalid for v=%d", p, tr.V)
 	}
-	fp := tr.F(p)
+	return checkFoldingLemma(tr, p, lp)
+}
+
+// CheckFoldingLemmaOf is CheckFoldingLemma over a FoldSummary.
+func CheckFoldingLemmaOf(fs *core.FoldSummary, p int) error {
+	lp := core.Log2(p)
+	if lp < 1 || lp > fs.LogV() {
+		return fmt.Errorf("eval: CheckFoldingLemma: p=%d invalid for v=%d", p, fs.V())
+	}
+	return checkFoldingLemma(fs, p, lp)
+}
+
+func checkFoldingLemma(fv foldView, p, lp int) error {
+	fp := fv.F(p)
 	for j := 1; j <= lp; j++ {
-		fj := tr.F(1 << uint(j))
+		fj := fv.F(1 << uint(j))
 		var lhs, rhs int64
 		for i := 0; i < j; i++ {
 			lhs += fj[i]

@@ -39,3 +39,21 @@ func Measure(tr *core.Trace, p int, sigma float64) Point {
 		Gamma:       Fullness(tr, p),
 	}
 }
+
+// MeasureSummary is Measure over a FoldSummary: one Summarize pass over
+// a TraceSource, then any number of (p, σ) grid points in O(log²v) each
+// — the streaming path of `nobl stat` and the analysis service.  It
+// returns the same Point as Measure over the trace the summary was
+// built from (both are exact functions of S and F).
+func MeasureSummary(fs *core.FoldSummary, p int, sigma float64) Point {
+	f := FoldOf(fs, p)
+	return Point{
+		P:           p,
+		Sigma:       sigma,
+		H:           f.H(sigma),
+		MessageLoad: f.MessageLoad(),
+		Supersteps:  f.Supersteps(),
+		Alpha:       WisenessOf(fs, p),
+		Gamma:       FullnessOf(fs, p),
+	}
+}

@@ -26,8 +26,12 @@ type AlgRun = alg.Result
 // A bounded store (NewBoundedTraceStore) additionally evicts the least
 // recently used runs beyond a capacity, which is what lets a long-running
 // process — nobld in particular — keep one store for its whole lifetime.
+// A spilling store (NewSpillingTraceStore) replaces count eviction with a
+// memory budget: runs beyond the budget move to disk and page back in on
+// demand instead of being recomputed.
 type TraceStore struct {
 	store *core.Store[AlgRun]
+	spill *spiller // nil unless built by NewSpillingTraceStore
 }
 
 // NewTraceStore returns an empty unbounded store.
@@ -71,8 +75,22 @@ func (ts *TraceStore) get(ctx context.Context, eng core.Engine, name string, n i
 		key += "+rec"
 	}
 	run, err := ts.store.Get(key, func() (AlgRun, error) {
+		if ts.spill != nil {
+			// A spilled run is paged back in from its binary file instead
+			// of re-executing the algorithm.
+			if run, ok, lerr := ts.spillReload(key); lerr != nil {
+				return AlgRun{}, lerr
+			} else if ok {
+				return run, nil
+			}
+		}
 		return a.Run(ctx, alg.Spec{Engine: eng, Record: record}, n)
 	})
+	if err == nil && ts.spill != nil {
+		if serr := ts.spillTouch(key, run); serr != nil {
+			return run, serr
+		}
+	}
 	if IsCancellation(err) {
 		// The computation died of a cancelled context: that outcome
 		// belongs to whichever caller was cancelled, not to the key, so

@@ -24,6 +24,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sort"
@@ -431,7 +432,14 @@ func (s *Server) analyzeTrace(ctx context.Context, req Request, progress progres
 	if err != nil {
 		return nil, err
 	}
-	progress.emit("measuring", fmt.Sprintf("v=%d, %d supersteps, %d messages", tr.V, tr.NumSupersteps(), tr.TotalMessages()))
+	// One pass over the supersteps builds the O(log²v) FoldSummary; every
+	// machine of the grid is then measured from it without touching the
+	// steps again.
+	fs, err := tr.Summary()
+	if err != nil {
+		return nil, err
+	}
+	progress.emit("measuring", fmt.Sprintf("v=%d, %d supersteps, %d messages", tr.V, fs.NumSupersteps(), fs.TotalMessages()))
 	res := &harness.Result{
 		ID:       string(KindTrace),
 		Title:    fmt.Sprintf("measured metrics of %s at n=%d (v=%d)", req.Algorithm, req.N, tr.V),
@@ -440,9 +448,9 @@ func (s *Server) analyzeTrace(ctx context.Context, req Request, progress progres
 	}
 	folding := true
 	for _, m := range machines {
-		pt := eval.Measure(tr, m.P, m.Sigma)
+		pt := eval.MeasureSummary(fs, m.P, m.Sigma)
 		res.AddRow(pt.P, pt.Sigma, pt.H, pt.MessageLoad, pt.Supersteps, pt.Alpha, pt.Gamma)
-		if err := eval.CheckFoldingLemma(tr, m.P); err != nil {
+		if err := eval.CheckFoldingLemmaOf(fs, m.P); err != nil {
 			folding = false
 		}
 	}
@@ -476,6 +484,10 @@ func (s *Server) analyzeDBSP(ctx context.Context, req Request, progress progress
 		}
 	}
 	progress.emit("folding", fmt.Sprintf("onto D-BSP presets at p=%d", p))
+	fs, err := tr.Summary()
+	if err != nil {
+		return nil, err
+	}
 	res := &harness.Result{
 		ID:       string(KindDBSP),
 		Title:    fmt.Sprintf("communication time of %s at n=%d on D-BSP presets (p=%d)", req.Algorithm, req.N, p),
@@ -487,7 +499,7 @@ func (s *Server) analyzeDBSP(ctx context.Context, req Request, progress progress
 		if pr.Admissible() != nil {
 			adm = "no"
 		}
-		res.AddRow(pr.Name, pr.P, dbsp.CommTime(tr, pr), adm)
+		res.AddRow(pr.Name, pr.P, dbsp.CommTimeSummary(fs, pr), adm)
 	}
 	res.AddCheck("folded on every preset", true, "%d networks at p=%d", len(res.Rows), p)
 	if len(dropped) > 0 {
@@ -515,30 +527,42 @@ func (s *Server) analyzeCache(ctx context.Context, req Request, progress progres
 		PaperRef: "§6 conjecture; Pietracaprina et al. 2006",
 		Columns:  []string{"M (words)", "B (words)", "misses", "miss rate"},
 	}
-	monotone := true
-	var prevMisses int64
-	for i, m := range cacheSweepSizes {
+	// One traversal of the trace drives every cache size of the sweep
+	// at once (Mattson stack simulation); cancellation is checked at
+	// superstep granularity.
+	progress.emit("simulating", fmt.Sprintf("IC sweep %v, single pass", cacheSweepSizes))
+	cs, err := cachesim.NewCurveSim(tr.V, ctxWords, bWords, cacheSweepSizes)
+	if err != nil {
+		return nil, err
+	}
+	src := tr.Source()
+	defer src.Close()
+	for {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("cache analysis cancelled: %w", err)
 		}
-		progress.emit("simulating", fmt.Sprintf("IC(%d,%d), size %d/%d", m, bWords, i+1, len(cacheSweepSizes)))
-		c, err := cachesim.New(m, bWords)
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
 			return nil, err
 		}
-		st, err := cachesim.SimulateTrace(tr, ctxWords, c)
-		if err != nil {
+		if err := cs.Step(rec); err != nil {
 			return nil, err
 		}
+	}
+	misses := cs.Misses()
+	monotone := true
+	for i, m := range cacheSweepSizes {
 		rate := 0.0
-		if st.Accesses > 0 {
-			rate = float64(st.Misses) / float64(st.Accesses)
+		if cs.Accesses() > 0 {
+			rate = float64(misses[i]) / float64(cs.Accesses())
 		}
-		res.AddRow(m, bWords, st.Misses, rate)
-		if i > 0 && st.Misses > prevMisses {
+		res.AddRow(m, bWords, misses[i], rate)
+		if i > 0 && misses[i] > misses[i-1] {
 			monotone = false
 		}
-		prevMisses = st.Misses
 	}
 	res.AddCheck("misses nonincreasing in M", monotone,
 		"LRU inclusion property over %d cache sizes", len(cacheSweepSizes))

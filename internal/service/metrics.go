@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"netoblivious/internal/core"
+	"netoblivious/internal/harness"
 )
 
 // latencyBuckets are the upper bounds (milliseconds) of the per-algorithm
@@ -127,6 +128,7 @@ type MetricsSnapshot struct {
 	Requests   map[string]int64             `json:"requests"`
 	Results    CacheStats                   `json:"result_cache"`
 	Traces     CacheStats                   `json:"trace_cache"`
+	Spill      *harness.SpillStats          `json:"trace_spill,omitempty"`
 	QueueDepth int64                        `json:"queue_depth"`
 	Jobs       JobCounters                  `json:"jobs"`
 	Latency    map[string]HistogramSnapshot `json:"latency_ms"`
@@ -159,6 +161,9 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			Rejected:  s.metrics.jobsRejected.Load(),
 		},
 		Latency: map[string]HistogramSnapshot{},
+	}
+	if sp, ok := s.traces.SpillStats(); ok {
+		snap.Spill = &sp
 	}
 	s.metrics.requests.Range(func(k, v any) bool {
 		snap.Requests[k.(string)] = v.(*atomic.Int64).Load()
@@ -201,6 +206,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeCache("nobld_cache", snap.Results)
 	writeCache("nobld_trace_cache", snap.Traces)
+	if snap.Spill != nil {
+		writeGauge("nobld_trace_spill_resident", int64(snap.Spill.Resident))
+		writeGauge("nobld_trace_spill_spilled", int64(snap.Spill.Spilled))
+		writeGauge("nobld_trace_spill_used_bytes", snap.Spill.UsedBytes)
+		writeGauge("nobld_trace_spill_budget_bytes", snap.Spill.BudgetBytes)
+		writeGauge("nobld_trace_spill_spills_total", snap.Spill.Spills)
+		writeGauge("nobld_trace_spill_reloads_total", snap.Spill.Reloads)
+	}
 	writeGauge("nobld_queue_depth", snap.QueueDepth)
 	writeGauge("nobld_jobs_running", snap.Jobs.Running)
 	writeGauge("nobld_jobs_done_total", snap.Jobs.Done)

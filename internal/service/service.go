@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -28,8 +29,18 @@ type Config struct {
 	CacheEntries int
 	// TraceEntries is the LRU capacity of the trace cache (memoized
 	// specification runs — the memory-heavy store); 0 means 64, negative
-	// means unbounded.
+	// means unbounded.  Ignored when TraceMemBudget is set.
 	TraceEntries int
+	// TraceMemBudget, when positive, replaces the trace cache's
+	// count-based eviction with a memory budget (bytes of estimated
+	// trace footprint): least recently used runs beyond the budget spill
+	// to binary files under TraceSpillDir and page back in on demand
+	// instead of being recomputed.
+	TraceMemBudget int64
+	// TraceSpillDir is the spill directory for TraceMemBudget; empty
+	// means a fresh directory under os.TempDir().  The server does not
+	// remove it on shutdown.
+	TraceSpillDir string
 	// JobTimeout bounds each job's execution; 0 means 2 minutes.
 	JobTimeout time.Duration
 	// Engine is the execution engine for every specification run; nil
@@ -148,14 +159,31 @@ type Server struct {
 	wg      sync.WaitGroup
 }
 
-// New builds a Server and starts its worker pool.  Callers must Close it.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool.  Callers must Close
+// it.  It fails only on an unusable trace-spill configuration.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	traces := harness.NewBoundedTraceStore(cfg.TraceEntries)
+	if cfg.TraceMemBudget > 0 {
+		dir := cfg.TraceSpillDir
+		if dir == "" {
+			d, err := os.MkdirTemp("", "nobld-spill-")
+			if err != nil {
+				return nil, fmt.Errorf("service: trace spill dir: %w", err)
+			}
+			dir = d
+		}
+		ts, err := harness.NewSpillingTraceStore(cfg.TraceMemBudget, dir)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		traces = ts
+	}
 	s := &Server{
 		cfg:     cfg,
 		engine:  cfg.Engine,
 		results: core.NewBoundedStore[*harness.Document](cfg.CacheEntries),
-		traces:  harness.NewBoundedTraceStore(cfg.TraceEntries),
+		traces:  traces,
 		sched:   newScheduler(cfg.QueueLimit),
 		mux:     http.NewServeMux(),
 	}
@@ -165,7 +193,7 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Close stops the worker pool and cancels every running job.  In-flight

@@ -22,7 +22,10 @@ func copyBody(dst io.Writer, resp *http.Response) (int64, error) {
 // to it.  Cleanup closes both.
 func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -155,6 +158,45 @@ func TestWaitInlineAndCaching(t *testing.T) {
 	st := srv.results.Stats()
 	if st.Misses != 1 || st.Hits < 1 {
 		t.Errorf("result cache stats %+v, want exactly 1 miss", st)
+	}
+}
+
+// TestTraceMemBudgetSpills runs trace analyses under a 1-byte trace
+// memory budget: every specification run spills to disk, later analyses
+// of the same key page it back in, and the answers match the
+// unconstrained server's.
+func TestTraceMemBudgetSpills(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := newTestServer(t, Config{Workers: 2, TraceMemBudget: 1, TraceSpillDir: dir})
+	_, cRef := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	for _, kind := range []Kind{KindTrace, KindDBSP, KindTrace} {
+		req := Request{Algorithm: "fft", N: 64, Kind: kind, Wait: true}
+		resp, err := c.Analyze(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != "done" || resp.Document == nil {
+			t.Fatalf("%s under spill budget: %+v", kind, resp)
+		}
+		ref, err := cRef.Analyze(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(resp.Document.Records), len(ref.Document.Records); got != want {
+			t.Fatalf("%s: %d records under budget, %d without", kind, got, want)
+		}
+	}
+	st, ok := srv.traces.SpillStats()
+	if !ok {
+		t.Fatal("budgeted server is not using a spilling trace store")
+	}
+	if st.Spills < 1 {
+		t.Errorf("spills = %d, want >= 1 under a 1-byte budget", st.Spills)
+	}
+	snap := srv.metricsSnapshot()
+	if snap.Spill == nil {
+		t.Error("metrics snapshot missing trace_spill section")
 	}
 }
 

@@ -47,14 +47,18 @@ func Canonical(t testing.TB, tr *core.Trace) []byte {
 // descriptor, to user-registered ones too.  The replay engine is
 // exercised twice against one private schedule store, so each size also
 // asserts the cold (record-and-compile) and warm (pure replay) paths
-// agree with each other and with the reference.  It returns the number
-// of sizes successfully compared.
+// agree with each other and with the reference.  The BlockEngine leg
+// runs through a streaming sink (an accumulating Trace behind
+// Options.Sink), so every size also asserts the streamed superstep
+// emission equals the classic in-memory path.  It returns the number of
+// sizes successfully compared.
 func EngineEquivalence(t testing.TB, a alg.Algorithm, sizes []int) int {
 	t.Helper()
 	compared := 0
 	for _, n := range sizes {
 		ref, refErr := a.Run(context.Background(), alg.Spec{Engine: core.GoroutineEngine{}}, n)
-		got, gotErr := a.Run(context.Background(), alg.Spec{Engine: core.BlockEngine{}}, n)
+		var streamed core.Trace
+		_, gotErr := a.Run(context.Background(), alg.Spec{Engine: core.BlockEngine{}, Sink: &streamed}, n)
 		replay := core.ReplayEngine{Store: core.NewScheduleStore()}
 		cold, coldErr := a.Run(context.Background(), alg.Spec{Engine: replay}, n)
 		warm, warmErr := a.Run(context.Background(), alg.Spec{Engine: replay}, n)
@@ -72,7 +76,7 @@ func EngineEquivalence(t testing.TB, a alg.Algorithm, sizes []int) int {
 			name string
 			tr   *core.Trace
 		}{
-			{"BlockEngine", got.Trace},
+			{"BlockEngine (streaming sink)", &streamed},
 			{"ReplayEngine (cold)", cold.Trace},
 			{"ReplayEngine (warm)", warm.Trace},
 		} {
