@@ -36,6 +36,7 @@ import (
 	"math/rand"
 
 	"netoblivious/internal/core"
+	"netoblivious/internal/obs"
 )
 
 // Spec is the unified run configuration every algorithm entry point
@@ -63,12 +64,16 @@ type Spec struct {
 	// core.Options.Sink).  The Result then carries a metadata-only
 	// Trace.  nil keeps the in-memory default.
 	Sink core.TraceSink
+	// Probe records per-superstep engine spans for timeline export (see
+	// core.Options.Probe and `nobl prof`).  nil — the default — disables
+	// instrumentation at provably negligible cost.
+	Probe *obs.Probe
 }
 
 // RunOptions translates the spec into core run options, for algorithm
 // implementations that call the M(v) runtime directly.
 func (s Spec) RunOptions() core.Options {
-	return core.Options{RecordMessages: s.Record, Engine: s.Engine, Context: s.Ctx, Sink: s.Sink}
+	return core.Options{RecordMessages: s.Record, Engine: s.Engine, Context: s.Ctx, Sink: s.Sink, Probe: s.Probe}
 }
 
 // Result is what running a registered algorithm yields: the communication

@@ -22,6 +22,11 @@
 //	                              superstep workload (JSON report);
 //	                              -traceout adds the streaming-trace
 //	                              memory report (BENCH_trace.json)
+//	nobl prof <alg> [-n N] [-o F] run one algorithm under the engine probe
+//	                              and write a Chrome trace-event timeline;
+//	                              -cpuprofile/-memprofile add pprof output
+//	nobl benchobs [-o F]          measure the probe plumbing's overhead on
+//	                              the block engine (JSON report)
 //
 // Flags:
 //
@@ -48,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -63,6 +69,7 @@ import (
 	"netoblivious/internal/eval"
 	"netoblivious/internal/harness"
 	"netoblivious/internal/network"
+	"netoblivious/internal/obs"
 	"netoblivious/internal/service"
 )
 
@@ -75,8 +82,18 @@ func main() {
 	benchPath := flag.String("bench", "", "write a wall-clock + trace-store bench report (JSON) to this file")
 	engineName := flag.String("engine", core.DefaultEngine().Name(),
 		"execution engine: "+strings.Join(core.EngineNames(), "|"))
+	logLevel := flag.String("log-level", "warn", "diagnostic log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "diagnostic log format: text|json")
 	flag.Usage = usage
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobl: %v\n", err)
+		os.Exit(2)
+	}
+	// Diagnostic logging rides slog's default logger; the warn default
+	// keeps the CLI's stderr contract (summary lines only) unchanged.
+	slog.SetDefault(logger)
 	engine, err := core.EngineByName(*engineName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nobl: %v\n", err)
@@ -124,10 +141,14 @@ func main() {
 		runTrace(engine, args[1:])
 	case "stat":
 		runStat(args[1:])
+	case "prof":
+		os.Exit(runProf(args[1:]))
 	case "benchnet":
 		os.Exit(runBenchNet(args[1:]))
 	case "benchcore":
 		os.Exit(runBenchCore(args[1:]))
+	case "benchobs":
+		os.Exit(runBenchObs(args[1:]))
 	case "remote":
 		os.Exit(runRemote(f, args[1:]))
 	default:
@@ -328,6 +349,12 @@ func runSuite(cfg harness.Config, f harness.Format, outDir, benchPath string, id
 		}
 	}
 	st := cfg.Store.Stats()
+	slog.Debug("suite complete",
+		"experiments", len(recs),
+		"failures", failures,
+		"wall_ms", float64(total.Microseconds())/1e3,
+		"store_hits", st.Hits,
+		"store_misses", st.Misses)
 	fmt.Fprintf(os.Stderr, "nobl: %d experiments in %s; trace store: %d hits / %d misses (%.0f%% hit rate)\n",
 		len(recs), total.Round(time.Millisecond), st.Hits, st.Misses, 100*st.HitRate())
 	if benchPath != "" {
@@ -563,6 +590,13 @@ type coreBenchRatio struct {
 // benchCoreWorkload runs the fixed superstep mix on the given engine and
 // machine size (the same mix the BenchmarkRun series uses).
 func benchCoreWorkload(v int, eng core.Engine) error {
+	return benchCoreWorkloadOpt(v, core.Options{Engine: eng})
+}
+
+// benchCoreWorkloadOpt is benchCoreWorkload with full Options control,
+// so `nobl benchobs` can thread a probe (or an explicit nil) through the
+// identical workload.
+func benchCoreWorkloadOpt(v int, opts core.Options) error {
 	labels := []int{core.Log2(v) - 1, 2, 0}
 	if v < 8 {
 		labels = []int{0}
@@ -578,7 +612,7 @@ func benchCoreWorkload(v int, eng core.Engine) error {
 			}
 		}
 		vp.Sync(0)
-	}, core.Options{Engine: eng})
+	}, opts)
 	return err
 }
 
@@ -1040,6 +1074,15 @@ usage:
               execution-engine latency (ns/op per engine and machine
               size, plus the warm-replay speedup), as a JSON report;
               -traceout adds a streaming-trace peak-memory report
+  nobl prof <alg> [-n N] [-engine E] [-o timeline.json]
+              [-cpuprofile file] [-memprofile file] [-record]
+              run one algorithm under the engine probe and write its
+              Chrome trace-event timeline (chrome://tracing, Perfetto):
+              one span per superstep, per-worker barrier waits on the
+              block engine, compile spans on a cold replay
+  nobl benchobs [-size 14] [-reps R] [-o file]
+              measure the probe plumbing's overhead on the block engine
+              (no probe vs nil probe vs live probe), as a JSON report
   nobl remote <algorithms|analyze|job|metrics> [-addr URL] ...
               target a shared nobld daemon instead of computing locally
               (analyze <alg> [-n N] [-kind K] [-p P] [-sigma σ] [-wait]
@@ -1053,6 +1096,8 @@ flags:
               byte-identical at any parallelism
   -bench F    wall-clock + trace-store report (JSON)
   -engine E   execution engine (%s)
+  -log-level L, -log-format F
+              diagnostic slog output (debug|info|warn|error; text|json)
 
 'nobl run' exits non-zero when any experiment errors or any check fails.
 `, strings.Join(core.EngineNames(), "|"))

@@ -17,16 +17,26 @@
 //	                            kind "network" request may select (its
 //	                            topology/strategy/seed fields)
 //	GET    /metrics             counters (Prometheus text; ?format=json)
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness + build/runtime identity
 //
 // Usage:
 //
 //	nobld -addr :7413 -workers 4 -cache-entries 512 -trace-entries 64 \
-//	      -queue 1024 -timeout 2m -engine block
+//	      -queue 1024 -timeout 2m -engine block \
+//	      -log-level info -log-format text -log-sample 1 \
+//	      -pprof-addr localhost:6060
 //
 // The -engine flag sets the server-wide default execution engine; any
 // registered engine name is accepted (GET /v1/algorithms lists them) and
 // a request may override it per call through its "engine" field.
+//
+// Observability: every request is assigned (or inherits, via the
+// X-Request-ID header) a correlation ID that appears on the response,
+// in the access and job log lines, in job records and SSE events.
+// Structured logs go to stderr (-log-format json|text, -log-level,
+// -log-sample N to keep every Nth access line).  -pprof-addr serves
+// net/http/pprof on a separate listener, off by default so profiling
+// is never exposed on the API address.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, running jobs are
 // cancelled, and the process exits 0.
@@ -37,8 +47,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +56,7 @@ import (
 	"time"
 
 	"netoblivious/internal/core"
+	"netoblivious/internal/obs"
 	"netoblivious/internal/service"
 )
 
@@ -62,8 +73,17 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job execution timeout")
 	engineName := flag.String("engine", core.DefaultEngine().Name(),
 		"execution engine: "+strings.Join(core.EngineNames(), "|"))
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
+	logSample := flag.Int("log-sample", 1, "emit one access-log line per N requests")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nobld: %v\n", err)
+		os.Exit(2)
+	}
 	engine, err := core.EngineByName(*engineName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nobld: %v\n", err)
@@ -78,6 +98,8 @@ func main() {
 		TraceSpillDir:  *traceSpillDir,
 		JobTimeout:     *timeout,
 		Engine:         engine,
+		Logger:         logger,
+		LogSample:      *logSample,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nobld: %v\n", err)
@@ -89,30 +111,56 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: the API address
+		// must never expose profiling handlers.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", "error", err.Error())
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("nobld: listening on %s (engine=%s, workers=%d, cache=%d, traces=%d, queue=%d, timeout=%s)",
-			*addr, engine.Name(), *workers, *cacheEntries, *traceEntries, *queue, *timeout)
+		logger.Info("nobld listening",
+			"addr", *addr,
+			"version", obs.BuildVersion(),
+			"engine", engine.Name(),
+			"workers", *workers,
+			"cache", *cacheEntries,
+			"traces", *traceEntries,
+			"queue", *queue,
+			"timeout", timeout.String())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case <-ctx.Done():
-		log.Printf("nobld: shutting down")
+		logger.Info("nobld shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("nobld: shutdown: %v", err)
+			logger.Warn("shutdown", "error", err.Error())
 		}
 		srv.Close()
-		log.Printf("nobld: bye")
+		logger.Info("nobld bye")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			srv.Close()
-			log.Fatalf("nobld: %v", err)
+			logger.Error("serve", "error", err.Error())
+			os.Exit(1)
 		}
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"iter"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the BlockEngine: W workers, each owning the
@@ -197,6 +199,14 @@ type blockRun[P any] struct {
 	localMax     [][]int32   // [worker][level] partition maxima
 	pairShard    []*PairList // per-worker recorded pairs; spliced at merge
 
+	// waitNs accumulates, per worker, the nanoseconds spent inside
+	// treeBarrier.arrive since the last mergeStep sample.  Allocated only
+	// when Options.Probe is set; nil keeps the barrier path untouched.
+	// Worker 0 reads and clears the counters inside the merge barrier
+	// action, so ordering is provided by the barrier's atomics; a
+	// worker's wait at the merge barrier itself lands in the next sample.
+	waitNs []int64
+
 	// Coordinator state, written by worker 0 inside a barrier and read by
 	// every worker after its release.
 	stepIdx   int
@@ -245,6 +255,9 @@ func runBlockEngine[P any](m *machine[P], prog Program[P], W int) {
 		for w := 0; w < W; w++ {
 			b.pairShard[w] = &PairList{}
 		}
+	}
+	if m.opts.Probe != nil {
+		b.waitNs = make([]int64, W)
 	}
 	var wg sync.WaitGroup
 	wg.Add(W)
@@ -340,7 +353,7 @@ func (b *blockRun[P]) worker(w int, prog Program[P]) {
 		}
 		b.liveCount[w] = live
 		b.msgCount[w] = msgs
-		b.bar.arrive(w, b.coordinate)
+		b.barArrive(w, b.coordinate)
 		switch b.phase {
 		case phaseDone:
 			vpCoros.put(idle)
@@ -349,10 +362,23 @@ func (b *blockRun[P]) worker(w int, prog Program[P]) {
 			continue
 		}
 		b.sendPhase(w, lo, hi)
-		b.bar.arrive(w, nil)
+		b.barArrive(w, nil)
 		b.recvPhase(w, lo, hi)
-		b.bar.arrive(w, b.mergeStep)
+		b.barArrive(w, b.mergeStep)
 	}
+}
+
+// barArrive is arrive plus per-worker wait accounting when a probe is
+// attached.  For worker 0 the measured time includes the barrier action
+// it runs; for the others it is pure wait.
+func (b *blockRun[P]) barArrive(w int, action func()) {
+	if b.waitNs == nil {
+		b.bar.arrive(w, action)
+		return
+	}
+	t0 := time.Now()
+	b.bar.arrive(w, action)
+	b.waitNs[w] += time.Since(t0).Nanoseconds()
 }
 
 // coordinate runs on worker 0 between the gather and release of the
@@ -672,6 +698,14 @@ func (b *blockRun[P]) mergeStep() {
 	if err := m.trace.merge(b.stepIdx, label, levelMax, b.stepMsgs, pairs, m.v); err != nil {
 		m.fail(err)
 		return
+	}
+	if prb := m.opts.Probe; prb != nil {
+		vals := make(map[string]any, b.w)
+		for w := 0; w < b.w; w++ {
+			vals["w"+strconv.Itoa(w)] = b.waitNs[w]
+			b.waitNs[w] = 0
+		}
+		prb.Counter("engine", "barrier_wait_ns", 0, vals)
 	}
 	b.stepIdx++
 }

@@ -133,4 +133,43 @@
 //
 // The cross-engine equivalence tests (core and harness packages) enforce
 // all three properties on every algorithm in the repository.
+//
+// # Probe contract
+//
+// Options.Probe attaches an obs.Probe to a run; the engines report into
+// it and `nobl prof` exports the result as a Chrome trace-event timeline.
+// Every engine honours the same contract:
+//
+//   - Per-superstep spans.  Each executed superstep s emits exactly one
+//     duration span named "superstep s" in category "engine", covering
+//     the wall time from the completion of the previous superstep (or
+//     the run start) to the barrier completing s, with args carrying the
+//     sync label and message total; non-replay engines add fold_ops, the
+//     messages × fold-levels upper bound on degree-counter updates the
+//     step induced, and replay spans mark themselves replayed=true and
+//     cover the step's data-movement time.  TestProbeSpansPerSuperstep
+//     enforces one span per superstep on every engine, in both in-memory
+//     and streaming (Sink) modes.
+//
+//   - Barrier-wait visibility.  The BlockEngine additionally emits one
+//     "barrier_wait_ns" counter sample per superstep with a series per
+//     worker: the nanoseconds that worker spent inside the tree barrier
+//     since the previous sample (worker 0's figure includes the barrier
+//     actions it runs; a worker's wait at the sampling barrier itself is
+//     attributed to the next sample).
+//
+//   - Compile spans.  A keyed ReplayEngine's cold run wraps its
+//     instrumented compile in a "schedule-compile" span (category
+//     "compiler") and threads the probe into the compile engine, so the
+//     cold timeline shows the compile run's supersteps; warm replays
+//     emit no compile span.
+//
+//   - The nil-probe guarantee.  A nil Probe (the zero Options) leaves
+//     every hot path untouched beyond a pointer check: no allocation,
+//     no clock read, no map construction.  TestNilProbeAllocParity
+//     asserts allocation parity with an un-probed run and CI gates the
+//     block-engine ns/op ratio (BENCH_obs.json) at 3%.
+//
+// Custom engines are not possible (the Engine interface is sealed), so
+// the contract doubles as the exhaustive list of span sources in core.
 package core

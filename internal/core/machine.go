@@ -6,6 +6,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"netoblivious/internal/obs"
 )
 
 // Message is a delivered message as seen by the receiving VP.
@@ -52,6 +55,13 @@ type Options struct {
 	// record sizes whose full Trace would not fit in RAM.  nil keeps the
 	// classic accumulate-in-memory behaviour.
 	Sink TraceSink
+
+	// Probe records per-superstep spans and engine events for timeline
+	// export (see the probe contract in the package documentation).  nil
+	// — the default — disables instrumentation entirely; the nil path
+	// costs one pointer check per superstep and is benchmark-gated to
+	// stay indistinguishable from an un-instrumented run.
+	Probe *obs.Probe
 }
 
 // Program is the code executed by every virtual processor of M(v).  The
@@ -467,6 +477,10 @@ func RunOpt[P any](v int, prog Program[P], opts Options) (*Trace, error) {
 		return nil, fmt.Errorf("core: unknown engine %q", eng.Name())
 	}
 	m := newMachine[P](v, opts)
+	if opts.Probe != nil {
+		m.trace.probe = opts.Probe
+		m.trace.probeLast = time.Now()
+	}
 	if opts.Sink != nil {
 		if err := opts.Sink.BeginTrace(v, m.logV); err != nil {
 			return nil, fmt.Errorf("core: trace sink: %w", err)

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"netoblivious/internal/obs"
 )
 
 // This file implements the ReplayEngine: the third execution engine,
@@ -123,6 +125,14 @@ var replayArenas = sync.Pool{New: func() any { return new(replayArena) }}
 // set, the step's Pairs share the schedule's immutable columns; no copy
 // is ever made.
 func (s *Schedule) Replay(record bool) *Trace {
+	return s.replay(record, nil)
+}
+
+// replay is Replay with an optional probe: non-nil, it records one
+// "engine"-category span per replayed superstep (the data-movement time
+// of that step's delivery).  The nil path is the exported Replay and
+// stays within the warm-replay allocation budget.
+func (s *Schedule) replay(record bool, probe *obs.Probe) *Trace {
 	tr := &Trace{V: s.v, LogV: s.logV, Steps: make([]StepRec, len(s.steps))}
 	degBacking := make([]int64, len(s.steps)*(s.logV+1))
 	ar := replayArenas.Get().(*replayArena)
@@ -131,6 +141,7 @@ func (s *Schedule) Replay(record bool) *Trace {
 	}
 	for i := range s.steps {
 		st := &s.steps[i]
+		stepStart := probe.Now()
 		deg := degBacking[: s.logV+1 : s.logV+1]
 		degBacking = degBacking[s.logV+1:]
 		copy(deg, st.degree)
@@ -141,16 +152,22 @@ func (s *Schedule) Replay(record bool) *Trace {
 		if record && st.pairs.Len() > 0 {
 			rec.Pairs = st.pairs
 		}
-		if len(st.srcCol) == 0 {
-			continue
-		}
-		inbox := ar.buf[:len(st.srcCol)]
-		rs := st.rowStart
-		for d := 0; d < s.v; d++ {
-			lo, hi := rs[d], rs[d+1]
-			if lo < hi {
-				copy(inbox[lo:hi], st.srcCol[lo:hi])
+		if len(st.srcCol) > 0 {
+			inbox := ar.buf[:len(st.srcCol)]
+			rs := st.rowStart
+			for d := 0; d < s.v; d++ {
+				lo, hi := rs[d], rs[d+1]
+				if lo < hi {
+					copy(inbox[lo:hi], st.srcCol[lo:hi])
+				}
 			}
+		}
+		if probe != nil {
+			probe.Span("engine", "superstep "+strconv.Itoa(i), 0, stepStart, map[string]any{
+				"label":    st.label,
+				"messages": st.messages,
+				"replayed": true,
+			})
 		}
 	}
 	replayArenas.Put(ar)
@@ -163,7 +180,7 @@ func (s *Schedule) Replay(record bool) *Trace {
 // returned Trace is the metadata-only form of a streaming run.  Pair
 // records are aliases of the schedule's immutable compiled columns —
 // shared, never copied, and safe for sinks that Release what they own.
-func (s *Schedule) replayTo(sink TraceSink, record bool) (*Trace, error) {
+func (s *Schedule) replayTo(sink TraceSink, record bool, probe *obs.Probe) (*Trace, error) {
 	if err := sink.BeginTrace(s.v, s.logV); err != nil {
 		return nil, fmt.Errorf("core: trace sink: %w", err)
 	}
@@ -175,6 +192,7 @@ func (s *Schedule) replayTo(sink TraceSink, record bool) (*Trace, error) {
 	var runErr error
 	for i := range s.steps {
 		st := &s.steps[i]
+		stepStart := probe.Now()
 		deg := make([]int64, s.logV+1)
 		copy(deg, st.degree)
 		rec := StepRec{Label: st.label, Degree: deg, Messages: st.messages}
@@ -194,6 +212,13 @@ func (s *Schedule) replayTo(sink TraceSink, record bool) (*Trace, error) {
 		if err := sink.WriteStep(rec); err != nil {
 			runErr = fmt.Errorf("core: trace sink: %w", err)
 			break
+		}
+		if probe != nil {
+			probe.Span("engine", "superstep "+strconv.Itoa(i), 0, stepStart, map[string]any{
+				"label":    st.label,
+				"messages": st.messages,
+				"replayed": true,
+			})
 		}
 		meta.flushed++
 		meta.flushedMsgs += rec.Messages
@@ -375,12 +400,22 @@ func runReplay[P any](v int, prog Program[P], opts Options, re ReplayEngine) (*T
 	sched, err, ok := store.store.Peek(key)
 	if !ok {
 		sched, err = store.store.Get(key, func() (*Schedule, error) {
-			o := Options{RecordMessages: true, Engine: compile, Context: opts.Context}
+			// The instrumented compile run inherits the probe, so a cold
+			// replay's timeline shows the compile engine's supersteps
+			// under the schedule-compile span.
+			o := Options{RecordMessages: true, Engine: compile, Context: opts.Context, Probe: opts.Probe}
+			compileStart := opts.Probe.Now()
 			tr, rerr := RunOpt(v, prog, o)
 			if rerr != nil {
 				return nil, rerr
 			}
-			return CompileSchedule(tr)
+			s, cerr := CompileSchedule(tr)
+			if cerr == nil && opts.Probe != nil {
+				opts.Probe.Span("compiler", "schedule-compile", 0, compileStart, map[string]any{
+					"key": key, "v": v, "supersteps": len(s.steps),
+				})
+			}
+			return s, cerr
 		})
 	}
 	if err != nil {
@@ -401,7 +436,7 @@ func runReplay[P any](v int, prog Program[P], opts Options, re ReplayEngine) (*T
 		}
 	}
 	if opts.Sink != nil {
-		return sched.replayTo(opts.Sink, opts.RecordMessages)
+		return sched.replayTo(opts.Sink, opts.RecordMessages, opts.Probe)
 	}
-	return sched.Replay(opts.RecordMessages), nil
+	return sched.replay(opts.RecordMessages, opts.Probe), nil
 }

@@ -2,7 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
+
+	"netoblivious/internal/obs"
 )
 
 // StepRec holds the communication metrics of a single superstep, recorded
@@ -64,6 +68,17 @@ type Trace struct {
 	seen        []int
 	flushed     int
 	flushedMsgs int64
+
+	// Probe state, used only when probe is non-nil (Options.Probe).  A
+	// superstep's span ends when every VP has merged into its record;
+	// probeSeen counts merged VPs per pending step outside streaming mode
+	// (streaming mode reuses seen), probeDone is the next step to emit,
+	// and probeLast is the end time of the previous span — so spans tile
+	// the run without gaps.
+	probe     *obs.Probe
+	probeSeen []int
+	probeDone int
+	probeLast time.Time
 }
 
 func newTrace(v, logV int) *Trace {
@@ -113,10 +128,35 @@ func (t *Trace) merge(step, label int, levelMax []int64, msgs int64, pairs *Pair
 		rec.Pairs.Splice(pairs)
 	}
 	if t.sink == nil {
+		if t.probe != nil {
+			for len(t.probeSeen) <= idx {
+				t.probeSeen = append(t.probeSeen, 0)
+			}
+			t.probeSeen[idx] += vps
+			for t.probeDone < len(t.probeSeen) && t.probeSeen[t.probeDone] >= t.V {
+				t.probeStepDoneLocked(t.probeDone, &t.Steps[t.probeDone])
+				t.probeDone++
+			}
+		}
 		return nil
 	}
 	t.seen[idx] += vps
 	return t.flushLocked()
+}
+
+// probeStepDoneLocked records the span of a completed superstep: from
+// the end of the previous superstep (or the run start) to now, annotated
+// with the sync label, the message total, and fold_ops — the upper bound
+// messages x fold levels on degree-counter updates the step induced.
+func (t *Trace) probeStepDoneLocked(step int, rec *StepRec) {
+	end := time.Now()
+	start := t.probeLast
+	t.probeLast = end
+	t.probe.SpanBetween("engine", "superstep "+strconv.Itoa(step), 0, start, end, map[string]any{
+		"label":    rec.Label,
+		"messages": rec.Messages,
+		"fold_ops": rec.Messages * int64(len(rec.Degree)-1-rec.Label),
+	})
 }
 
 // flushLocked writes the completed prefix of the pending window to the
@@ -127,6 +167,9 @@ func (t *Trace) flushLocked() error {
 			return fmt.Errorf("core: internal error: superstep %d merged %d VPs on a machine of %d", t.base, t.seen[0], t.V)
 		}
 		rec := t.Steps[0]
+		if t.probe != nil {
+			t.probeStepDoneLocked(t.base, &rec)
+		}
 		if err := t.sink.WriteStep(rec); err != nil {
 			return fmt.Errorf("core: trace sink: %w", err)
 		}

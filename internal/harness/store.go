@@ -7,6 +7,7 @@ import (
 
 	"netoblivious/alg"
 	"netoblivious/internal/core"
+	"netoblivious/internal/obs"
 )
 
 // AlgRun bundles a registry algorithm's communication trace with the run
@@ -32,7 +33,14 @@ type AlgRun = alg.Result
 type TraceStore struct {
 	store *core.Store[AlgRun]
 	spill *spiller // nil unless built by NewSpillingTraceStore
+	probe *obs.Probe
 }
+
+// SetProbe attaches a probe: every Get records a hit instant or wraps
+// its miss computation in a "trace-compute" span, and computed runs
+// inherit the probe so their engine supersteps appear in the same
+// timeline.  Call before serving traffic; nil detaches.
+func (ts *TraceStore) SetProbe(p *obs.Probe) { ts.probe = p }
 
 // NewTraceStore returns an empty unbounded store.
 func NewTraceStore() *TraceStore {
@@ -74,7 +82,9 @@ func (ts *TraceStore) get(ctx context.Context, eng core.Engine, name string, n i
 	if record {
 		key += "+rec"
 	}
+	computed := false
 	run, err := ts.store.Get(key, func() (AlgRun, error) {
+		computed = true
 		if ts.spill != nil {
 			// A spilled run is paged back in from its binary file instead
 			// of re-executing the algorithm.
@@ -84,8 +94,16 @@ func (ts *TraceStore) get(ctx context.Context, eng core.Engine, name string, n i
 				return run, nil
 			}
 		}
-		return a.Run(ctx, alg.Spec{Engine: eng, Record: record}, n)
+		start := ts.probe.Now()
+		r, rerr := a.Run(ctx, alg.Spec{Engine: eng, Record: record, Probe: ts.probe}, n)
+		if rerr == nil && ts.probe != nil {
+			ts.probe.Span("store", "trace-compute", 0, start, map[string]any{"key": key})
+		}
+		return r, rerr
 	})
+	if ts.probe != nil && !computed {
+		ts.probe.Instant("store", "trace-hit", 0, map[string]any{"key": key})
+	}
 	if err == nil && ts.spill != nil {
 		if serr := ts.spillTouch(key, run); serr != nil {
 			return run, serr

@@ -110,12 +110,21 @@ func (s *Sim) RouteWith(r Router, msgs [][2]int) RouteResult {
 			panic(fmt.Sprintf("network: message %v out of range", m))
 		}
 	}
+	start := s.Probe.Now()
 	st := s.getState()
 	res := st.run(s, r, msgs)
 	// Pooled only on normal completion: a panic unwinding past here (a
 	// router or topology bug) must not recycle half-drained queues into
 	// the next Route call.
 	s.putState(st)
+	if s.Probe != nil {
+		s.Probe.Span("network", "route "+s.topo.Name, 0, start, map[string]any{
+			"strategy":   r.Name(),
+			"messages":   len(msgs),
+			"makespan":   res.Makespan,
+			"total_hops": res.TotalHops,
+		})
+	}
 	return res
 }
 

@@ -23,7 +23,11 @@
 // every step.
 package network
 
-import "sync"
+import (
+	"sync"
+
+	"netoblivious/internal/obs"
+)
 
 // Sim is a routing simulator for one topology, with precomputed
 // shortest-path next-hop tables.
@@ -35,6 +39,11 @@ type Sim struct {
 	dist [][]int32
 	// states recycles engine state (queues, bitsets) across Route calls.
 	states sync.Pool
+
+	// Probe, when non-nil, records one "network"-category span per
+	// RouteWith call (strategy, message count, makespan, total hops).
+	// Set it before routing; nil costs one pointer check per call.
+	Probe *obs.Probe
 }
 
 // NewSim precomputes deterministic shortest-path routing tables with a

@@ -1,0 +1,42 @@
+package obs
+
+import "runtime/debug"
+
+// BuildVersion returns a human-readable identity of the running binary:
+// the main module version when stamped, the embedded VCS revision
+// (truncated, with a -dirty suffix for modified trees) when built from a
+// checkout, or "unknown" when the binary carries no build info (e.g.
+// test binaries).
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	version := bi.Main.Version
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" && dirty {
+		rev += "-dirty"
+	}
+	// A stamped module version (pseudo-versions included) already
+	// encodes the revision; fall back to the bare revision only for
+	// (devel) builds.
+	switch {
+	case version != "" && version != "(devel)":
+		return version
+	case rev != "":
+		return rev
+	}
+	return "unknown"
+}

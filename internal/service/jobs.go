@@ -36,16 +36,20 @@ type Event struct {
 	Stage string `json:"stage"`
 	// Detail elaborates the stage.
 	Detail string `json:"detail,omitempty"`
+	// RequestID correlates the event with the request that created the
+	// job, so an SSE consumer can tie progress back to its access logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // job is one queued/running/finished asynchronous analysis.
 type job struct {
-	id       string
-	key      string // request cache key; "" once detached from dedup
-	req      Request
-	priority int    // guarded by the scheduler lock while queued
-	seq      uint64 // enqueue order, breaks priority ties FIFO
-	idx      int    // heap index while queued, -1 once popped
+	id        string
+	key       string // request cache key; "" once detached from dedup
+	req       Request
+	requestID string // correlation ID of the creating request
+	priority  int    // guarded by the scheduler lock while queued
+	seq       uint64 // enqueue order, breaks priority ties FIFO
+	idx       int    // heap index while queued, -1 once popped
 
 	cancel context.CancelCauseFunc
 
@@ -65,7 +69,7 @@ type job struct {
 // advisory, the authoritative log is the job's event slice.
 func (j *job) publish(stage, detail string) {
 	j.mu.Lock()
-	ev := Event{Seq: len(j.events) + 1, Stage: stage, Detail: detail}
+	ev := Event{Seq: len(j.events) + 1, Stage: stage, Detail: detail, RequestID: j.requestID}
 	j.events = append(j.events, ev)
 	for ch := range j.subs {
 		select {
@@ -209,7 +213,7 @@ var errQueueFull = errors.New("job queue full")
 // enqueue registers a new job for key, or returns the already queued or
 // running job computing the same key (single-flight dedup of identical
 // in-flight requests).  created reports which happened.
-func (s *scheduler) enqueue(key string, req Request) (j *job, created bool, err error) {
+func (s *scheduler) enqueue(key string, req Request, requestID string) (j *job, created bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -230,15 +234,16 @@ func (s *scheduler) enqueue(key string, req Request) (j *job, created bool, err 
 	s.nextID++
 	s.nextSeq++
 	j = &job{
-		id:       fmt.Sprintf("j%08d", s.nextID),
-		key:      key,
-		req:      req,
-		priority: req.Priority,
-		seq:      s.nextSeq,
-		status:   StatusQueued,
-		subs:     map[chan Event]struct{}{},
-		created:  time.Now(),
-		done:     make(chan struct{}),
+		id:        fmt.Sprintf("j%08d", s.nextID),
+		key:       key,
+		req:       req,
+		requestID: requestID,
+		priority:  req.Priority,
+		seq:       s.nextSeq,
+		status:    StatusQueued,
+		subs:      map[chan Event]struct{}{},
+		created:   time.Now(),
+		done:      make(chan struct{}),
 	}
 	s.inflight[key] = j
 	s.jobs[j.id] = j
@@ -339,7 +344,16 @@ func (s *Server) runJob(j *job) {
 	}
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
+	queueWait := time.Since(j.created)
+	s.metrics.observeQueueWait(queueWait)
 	j.publish("started", fmt.Sprintf("kind=%s algorithm=%s n=%d", j.req.Kind, j.req.Algorithm, j.req.N))
+	s.logger.Info("job started",
+		"job", j.id,
+		"request_id", j.requestID,
+		"kind", string(j.req.Kind),
+		"algorithm", j.req.Algorithm,
+		"n", j.req.N,
+		"queue_wait_ms", ms(queueWait))
 
 	ctx, cancelTimeout := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
 	defer cancelTimeout()
@@ -357,6 +371,7 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 
 	start := time.Now()
+	probeStart := s.probe.Now()
 	key := s.requestKey(j.req)
 	var doc *harness.Document
 	var err error
@@ -381,6 +396,7 @@ func (s *Server) runJob(j *job) {
 	}
 	elapsed := time.Since(start)
 	s.metrics.observeLatency(j.req.Algorithm, elapsed)
+	s.metrics.observeRun(s.engineFor(j.req).Name(), elapsed)
 	s.sched.release(j)
 
 	var finished bool
@@ -400,6 +416,25 @@ func (s *Server) runJob(j *job) {
 		if finished {
 			s.metrics.jobsFailed.Add(1)
 		}
+	}
+	status, _, _ := j.snapshot()
+	if s.probe != nil {
+		s.probe.Span("job", string(j.req.Kind)+" "+j.req.Algorithm, 0, probeStart, map[string]any{
+			"job":        j.id,
+			"request_id": j.requestID,
+			"status":     string(status),
+		})
+	}
+	logAttrs := []any{
+		"job", j.id,
+		"request_id", j.requestID,
+		"status", string(status),
+		"elapsed_ms", ms(elapsed),
+	}
+	if err != nil {
+		s.logger.Warn("job finished", append(logAttrs, "error", err.Error())...)
+	} else {
+		s.logger.Info("job finished", logAttrs...)
 	}
 	if finished {
 		s.sched.retire(j)

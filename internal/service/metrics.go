@@ -1,103 +1,119 @@
 package service
 
 import (
-	"fmt"
 	"net/http"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"netoblivious/internal/core"
 	"netoblivious/internal/harness"
+	"netoblivious/internal/obs"
 )
 
-// latencyBuckets are the upper bounds (milliseconds) of the per-algorithm
-// latency histograms: powers of four from 1 ms to ~4.4 min, plus +Inf.
+// latencyBuckets are the upper bounds (milliseconds) of the service's
+// duration histograms: powers of four from 1 ms to ~4.4 min, plus +Inf.
 // Analysis latencies span closed-form microseconds to multi-second
 // simulation runs, so a geometric ladder keeps every regime resolvable
 // with few buckets.
 var latencyBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144}
 
-// histogram is a fixed-bucket latency histogram.
-type histogram struct {
-	mu      sync.Mutex
-	buckets []int64 // count per latencyBuckets entry; overflow in count-sum
-	count   int64
-	sumMs   float64
-}
+// queueWaitBuckets resolve queue waits, which sit well below run
+// latencies on a healthy server: powers of four from 0.25 ms upward.
+var queueWaitBuckets = []float64{0.25, 1, 4, 16, 64, 256, 1024, 4096, 16384}
 
-func newHistogram() *histogram {
-	return &histogram{buckets: make([]int64, len(latencyBuckets))}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ms := float64(d.Microseconds()) / 1e3
-	h.mu.Lock()
-	h.count++
-	h.sumMs += ms
-	for i, ub := range latencyBuckets {
-		if ms <= ub {
-			h.buckets[i]++
-			break
-		}
-	}
-	h.mu.Unlock()
-}
-
-// HistogramSnapshot is the JSON form of one latency histogram:
-// cumulative bucket counts keyed by upper bound, plus count and sum.
-type HistogramSnapshot struct {
-	// Buckets maps the bucket upper bound (ms, formatted) to the
-	// cumulative count of observations at or below it.
-	Buckets map[string]int64 `json:"buckets"`
-	Count   int64            `json:"count"`
-	SumMs   float64          `json:"sum_ms"`
-}
-
-func (h *histogram) snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	snap := HistogramSnapshot{Buckets: make(map[string]int64, len(latencyBuckets)), Count: h.count, SumMs: h.sumMs}
-	var cum int64
-	for i, ub := range latencyBuckets {
-		cum += h.buckets[i]
-		snap.Buckets[fmt.Sprintf("%g", ub)] = cum
-	}
-	return snap
-}
-
-// metrics aggregates the service's operational counters.  Request
-// counters and job gauges are atomics; the cache counters are read
-// straight from the two stores so they can never drift from the caches
-// they describe.
+// metrics is the service's metric surface: a thin façade over one
+// obs.Registry, from which both /metrics renderings (Prometheus text and
+// the MetricsSnapshot JSON) are derived — one snapshot, two encodings,
+// so they can never disagree.  Values owned elsewhere (cache stats,
+// queue depth, spill counters) are registered as gauge callbacks in
+// (*Server).registerGauges rather than mirrored by writes.
 type metrics struct {
-	requests sync.Map // endpoint (string) -> *atomic.Int64
+	reg *obs.Registry
 
-	jobsRunning   atomic.Int64 // gauge: jobs being executed by workers
-	jobsDone      atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsCancelled atomic.Int64
-	jobsRejected  atomic.Int64 // queue-full rejections
+	jobsRunning   *obs.Gauge
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCancelled *obs.Counter
+	jobsRejected  *obs.Counter // queue-full rejections
+}
 
-	latency sync.Map // algorithm (string) -> *histogram
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:           reg,
+		jobsRunning:   reg.Gauge("nobld_jobs_running", "jobs being executed by workers"),
+		jobsDone:      reg.Counter("nobld_jobs_done_total", "jobs finished successfully"),
+		jobsFailed:    reg.Counter("nobld_jobs_failed_total", "jobs finished with an error"),
+		jobsCancelled: reg.Counter("nobld_jobs_cancelled_total", "jobs cancelled by clients or shutdown"),
+		jobsRejected:  reg.Counter("nobld_jobs_rejected_total", "enqueues rejected by the bounded queue"),
+	}
 }
 
 func (m *metrics) countRequest(endpoint string) {
-	c, _ := m.requests.LoadOrStore(endpoint, new(atomic.Int64))
-	c.(*atomic.Int64).Add(1)
+	m.reg.Counter("nobld_requests_total", "HTTP requests by endpoint", obs.L("endpoint", endpoint)).Inc()
 }
 
 func (m *metrics) observeLatency(algorithm string, d time.Duration) {
 	if algorithm == "" {
 		algorithm = "none"
 	}
-	h, ok := m.latency.Load(algorithm)
-	if !ok {
-		h, _ = m.latency.LoadOrStore(algorithm, newHistogram())
+	m.reg.Histogram("nobld_latency_ms", "end-to-end analysis latency by algorithm",
+		latencyBuckets, obs.L("algorithm", algorithm)).Observe(ms(d))
+}
+
+// observeQueueWait records the time a job spent queued before a worker
+// picked it up.
+func (m *metrics) observeQueueWait(d time.Duration) {
+	m.reg.Histogram("nobld_queue_wait_ms", "time jobs spent queued before execution",
+		queueWaitBuckets).Observe(ms(d))
+}
+
+// observeRun records one job execution's duration under its effective
+// engine.
+func (m *metrics) observeRun(engine string, d time.Duration) {
+	m.reg.Histogram("nobld_run_ms", "job execution time by engine",
+		latencyBuckets, obs.L("engine", engine)).Observe(ms(d))
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// registerGauges installs the callback-backed gauges that read server
+// state live at snapshot time.  Called once from New, after the stores
+// and scheduler exist.
+func (s *Server) registerGauges() {
+	reg := s.metrics.reg
+	reg.GaugeFunc("nobld_queue_depth", "queued (not yet running) jobs",
+		func() float64 { return float64(s.sched.depth()) })
+	registerCacheGauges(reg, "nobld_cache", func() CacheStats { return cacheStats(s.results) })
+	registerCacheGauges(reg, "nobld_trace_cache", func() CacheStats { return cacheStats(s.traces.Store()) })
+	if _, ok := s.traces.SpillStats(); ok {
+		spill := func(read func(harness.SpillStats) float64) func() float64 {
+			return func() float64 {
+				sp, _ := s.traces.SpillStats()
+				return read(sp)
+			}
+		}
+		reg.GaugeFunc("nobld_trace_spill_resident", "trace-cache runs resident in memory",
+			spill(func(sp harness.SpillStats) float64 { return float64(sp.Resident) }))
+		reg.GaugeFunc("nobld_trace_spill_spilled", "trace-cache runs spilled to disk",
+			spill(func(sp harness.SpillStats) float64 { return float64(sp.Spilled) }))
+		reg.GaugeFunc("nobld_trace_spill_used_bytes", "estimated bytes of resident spillable traces",
+			spill(func(sp harness.SpillStats) float64 { return float64(sp.UsedBytes) }))
+		reg.GaugeFunc("nobld_trace_spill_budget_bytes", "trace spill memory budget",
+			spill(func(sp harness.SpillStats) float64 { return float64(sp.BudgetBytes) }))
+		reg.GaugeFunc("nobld_trace_spill_spills_total", "cumulative spill-to-disk operations",
+			spill(func(sp harness.SpillStats) float64 { return float64(sp.Spills) }))
+		reg.GaugeFunc("nobld_trace_spill_reloads_total", "cumulative page-back-in operations",
+			spill(func(sp harness.SpillStats) float64 { return float64(sp.Reloads) }))
 	}
-	h.(*histogram).observe(d)
+}
+
+// registerCacheGauges installs the five per-store gauges under prefix.
+func registerCacheGauges(reg *obs.Registry, prefix string, stats func() CacheStats) {
+	reg.GaugeFunc(prefix+"_hits_total", "cache hits", func() float64 { return float64(stats().Hits) })
+	reg.GaugeFunc(prefix+"_misses_total", "cache misses", func() float64 { return float64(stats().Misses) })
+	reg.GaugeFunc(prefix+"_evictions_total", "cache evictions", func() float64 { return float64(stats().Evictions) })
+	reg.GaugeFunc(prefix+"_hit_rate", "cache hit rate", func() float64 { return stats().HitRate })
+	reg.GaugeFunc(prefix+"_entries", "live cache entries", func() float64 { return float64(stats().Entries) })
 }
 
 // CacheStats is the snapshot of one store's counters plus its hit rate.
@@ -122,6 +138,16 @@ func cacheStats[V any](s *core.Store[V]) CacheStats {
 	}
 }
 
+// HistogramSnapshot is the JSON form of one histogram: cumulative bucket
+// counts keyed by upper bound, plus count and sum.
+type HistogramSnapshot struct {
+	// Buckets maps the bucket upper bound (ms, formatted) to the
+	// cumulative count of observations at or below it.
+	Buckets map[string]int64 `json:"buckets"`
+	Count   int64            `json:"count"`
+	SumMs   float64          `json:"sum_ms"`
+}
+
 // MetricsSnapshot is the machine-readable /metrics?format=json payload.
 type MetricsSnapshot struct {
 	Schema     string                       `json:"schema"`
@@ -132,6 +158,11 @@ type MetricsSnapshot struct {
 	QueueDepth int64                        `json:"queue_depth"`
 	Jobs       JobCounters                  `json:"jobs"`
 	Latency    map[string]HistogramSnapshot `json:"latency_ms"`
+	// QueueWait and Runs expose the obs-registry histograms added for
+	// the ROADMAP's scaling work: queue wait (all jobs) and execution
+	// time by effective engine.
+	QueueWait HistogramSnapshot            `json:"queue_wait_ms"`
+	Runs      map[string]HistogramSnapshot `json:"run_ms"`
 }
 
 // JobCounters summarizes the job subsystem.
@@ -146,7 +177,36 @@ type JobCounters struct {
 // MetricsSchema tags the JSON metrics snapshot.
 const MetricsSchema = "nobld/metrics/v1"
 
-func (s *Server) metricsSnapshot() MetricsSnapshot {
+// histogramJSON converts one obs histogram series to the wire form.
+// The numeric bucket bounds travel alongside their formatted strings in
+// the obs snapshot, so nothing here (or anywhere) re-parses a formatted
+// bound; the +Inf bucket is represented by Count, as in every release
+// of this schema.
+func histogramJSON(ss obs.SeriesSnapshot) HistogramSnapshot {
+	snap := HistogramSnapshot{Buckets: make(map[string]int64, len(ss.Buckets)), Count: ss.Count, SumMs: ss.Sum}
+	for _, b := range ss.Buckets {
+		if b.LE == "+Inf" {
+			continue
+		}
+		snap.Buckets[b.LE] = b.Cumulative
+	}
+	return snap
+}
+
+// labelValue returns the value of the named label in a series.
+func labelValue(ss obs.SeriesSnapshot, name string) string {
+	for _, l := range ss.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// metricsSnapshot derives the JSON wire form from one obs-registry
+// snapshot, so the JSON and Prometheus-text renderings of a single
+// /metrics request describe the same instant.
+func (s *Server) metricsSnapshot(osnap obs.Snapshot) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		Schema:     MetricsSchema,
 		Requests:   map[string]int64{},
@@ -154,95 +214,48 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 		Traces:     cacheStats(s.traces.Store()),
 		QueueDepth: int64(s.sched.depth()),
 		Jobs: JobCounters{
-			Running:   s.metrics.jobsRunning.Load(),
-			Done:      s.metrics.jobsDone.Load(),
-			Failed:    s.metrics.jobsFailed.Load(),
-			Cancelled: s.metrics.jobsCancelled.Load(),
-			Rejected:  s.metrics.jobsRejected.Load(),
+			Running:   int64(s.metrics.jobsRunning.Value()),
+			Done:      s.metrics.jobsDone.Value(),
+			Failed:    s.metrics.jobsFailed.Value(),
+			Cancelled: s.metrics.jobsCancelled.Value(),
+			Rejected:  s.metrics.jobsRejected.Value(),
 		},
 		Latency: map[string]HistogramSnapshot{},
+		Runs:    map[string]HistogramSnapshot{},
 	}
 	if sp, ok := s.traces.SpillStats(); ok {
 		snap.Spill = &sp
 	}
-	s.metrics.requests.Range(func(k, v any) bool {
-		snap.Requests[k.(string)] = v.(*atomic.Int64).Load()
-		return true
-	})
-	s.metrics.latency.Range(func(k, v any) bool {
-		snap.Latency[k.(string)] = v.(*histogram).snapshot()
-		return true
-	})
+	if f := osnap.Family("nobld_requests_total"); f != nil {
+		for _, ss := range f.Series {
+			snap.Requests[labelValue(ss, "endpoint")] = int64(ss.Value)
+		}
+	}
+	if f := osnap.Family("nobld_latency_ms"); f != nil {
+		for _, ss := range f.Series {
+			snap.Latency[labelValue(ss, "algorithm")] = histogramJSON(ss)
+		}
+	}
+	if f := osnap.Family("nobld_queue_wait_ms"); f != nil && len(f.Series) > 0 {
+		snap.QueueWait = histogramJSON(f.Series[0])
+	}
+	if f := osnap.Family("nobld_run_ms"); f != nil {
+		for _, ss := range f.Series {
+			snap.Runs[labelValue(ss, "engine")] = histogramJSON(ss)
+		}
+	}
 	return snap
 }
 
 // handleMetrics renders the counters: Prometheus-style text by default,
-// the MetricsSnapshot JSON with ?format=json.
+// the MetricsSnapshot JSON with ?format=json.  Both renderings derive
+// from the same registry snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metricsSnapshot()
+	osnap := s.metrics.reg.Snapshot()
 	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, http.StatusOK, snap)
+		writeJSON(w, http.StatusOK, s.metricsSnapshot(osnap))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var sb strings.Builder
-	writeGauge := func(name string, v int64) {
-		fmt.Fprintf(&sb, "%s %d\n", name, v)
-	}
-	endpoints := make([]string, 0, len(snap.Requests))
-	for ep := range snap.Requests {
-		endpoints = append(endpoints, ep)
-	}
-	sort.Strings(endpoints)
-	for _, ep := range endpoints {
-		fmt.Fprintf(&sb, "nobld_requests_total{endpoint=%q} %d\n", ep, snap.Requests[ep])
-	}
-	writeCache := func(prefix string, cs CacheStats) {
-		writeGauge(prefix+"_hits_total", cs.Hits)
-		writeGauge(prefix+"_misses_total", cs.Misses)
-		writeGauge(prefix+"_evictions_total", cs.Evictions)
-		fmt.Fprintf(&sb, "%s_hit_rate %g\n", prefix, cs.HitRate)
-		writeGauge(prefix+"_entries", int64(cs.Entries))
-	}
-	writeCache("nobld_cache", snap.Results)
-	writeCache("nobld_trace_cache", snap.Traces)
-	if snap.Spill != nil {
-		writeGauge("nobld_trace_spill_resident", int64(snap.Spill.Resident))
-		writeGauge("nobld_trace_spill_spilled", int64(snap.Spill.Spilled))
-		writeGauge("nobld_trace_spill_used_bytes", snap.Spill.UsedBytes)
-		writeGauge("nobld_trace_spill_budget_bytes", snap.Spill.BudgetBytes)
-		writeGauge("nobld_trace_spill_spills_total", snap.Spill.Spills)
-		writeGauge("nobld_trace_spill_reloads_total", snap.Spill.Reloads)
-	}
-	writeGauge("nobld_queue_depth", snap.QueueDepth)
-	writeGauge("nobld_jobs_running", snap.Jobs.Running)
-	writeGauge("nobld_jobs_done_total", snap.Jobs.Done)
-	writeGauge("nobld_jobs_failed_total", snap.Jobs.Failed)
-	writeGauge("nobld_jobs_cancelled_total", snap.Jobs.Cancelled)
-	writeGauge("nobld_jobs_rejected_total", snap.Jobs.Rejected)
-	algs := make([]string, 0, len(snap.Latency))
-	for a := range snap.Latency {
-		algs = append(algs, a)
-	}
-	sort.Strings(algs)
-	for _, a := range algs {
-		h := snap.Latency[a]
-		bounds := make([]string, 0, len(h.Buckets))
-		for b := range h.Buckets {
-			bounds = append(bounds, b)
-		}
-		sort.Slice(bounds, func(i, j int) bool {
-			var x, y float64
-			fmt.Sscan(bounds[i], &x)
-			fmt.Sscan(bounds[j], &y)
-			return x < y
-		})
-		for _, b := range bounds {
-			fmt.Fprintf(&sb, "nobld_latency_ms_bucket{algorithm=%q,le=%q} %d\n", a, b, h.Buckets[b])
-		}
-		fmt.Fprintf(&sb, "nobld_latency_ms_bucket{algorithm=%q,le=\"+Inf\"} %d\n", a, h.Count)
-		fmt.Fprintf(&sb, "nobld_latency_ms_sum{algorithm=%q} %g\n", a, h.SumMs)
-		fmt.Fprintf(&sb, "nobld_latency_ms_count{algorithm=%q} %d\n", a, h.Count)
-	}
-	_, _ = w.Write([]byte(sb.String()))
+	_ = obs.WritePrometheus(w, osnap)
 }

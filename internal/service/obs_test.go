@@ -1,0 +1,315 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded log sink: the server's goroutines write
+// while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitForLog polls until pred(logs) holds (the access and job lines are
+// written after the HTTP response, so the client can get ahead of them).
+func waitForLog(t *testing.T, logs *syncBuffer, what string, pred func(string) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pred(logs.String()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("logs never showed %s:\n%s", what, logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHealthzFields asserts the enriched /healthz payload: status "ok"
+// (the CI smoke's contract) plus the build/runtime identity fields.
+func TestHealthzFields(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	resp, err := c.http().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if h.Engine == "" || h.Version == "" {
+		t.Errorf("healthz missing identity: %+v", h)
+	}
+	if !strings.HasPrefix(h.GoVersion, "go") {
+		t.Errorf("go_version = %q", h.GoVersion)
+	}
+	if h.UptimeSec < 0 {
+		t.Errorf("uptime_sec = %v", h.UptimeSec)
+	}
+	if h.Gomaxprocs < 1 || h.Workers < 1 {
+		t.Errorf("gomaxprocs = %d workers = %d", h.Gomaxprocs, h.Workers)
+	}
+}
+
+// TestRequestIDPropagation follows one correlation ID end to end: the
+// client-supplied X-Request-ID is echoed on the response, recorded on the
+// job, carried by every job event, and present in the structured logs.
+func TestRequestIDPropagation(t *testing.T) {
+	logs := &syncBuffer{}
+	srv, c := newTestServer(t, Config{
+		Workers: 1,
+		Logger:  slog.New(slog.NewJSONHandler(logs, nil)),
+	})
+	ctx := context.Background()
+
+	body := `{"algorithm":"fft","n":256,"kind":"trace","wait":true}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/analyze", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rid = "test-rid-0001"
+	req.Header.Set("X-Request-ID", rid)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != rid {
+		t.Errorf("response X-Request-ID = %q, want %q", got, rid)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d", resp.StatusCode)
+	}
+
+	// The job the request created must carry the ID on the record and on
+	// every event.
+	j, ok := func() (*job, bool) {
+		srv.sched.mu.Lock()
+		defer srv.sched.mu.Unlock()
+		for _, j := range srv.sched.jobs {
+			return j, true
+		}
+		return nil, false
+	}()
+	if !ok {
+		t.Fatal("no job recorded")
+	}
+	if j.requestID != rid {
+		t.Errorf("job request ID = %q, want %q", j.requestID, rid)
+	}
+	_, events, _ := j.snapshot()
+	if len(events) == 0 {
+		t.Fatal("job has no events")
+	}
+	for _, ev := range events {
+		if ev.RequestID != rid {
+			t.Errorf("event %d (%s) request_id = %q, want %q", ev.Seq, ev.Stage, ev.RequestID, rid)
+		}
+	}
+
+	// Every structured line about this request carries the ID; the job
+	// lifecycle lines must be among them.  The "job finished" line and
+	// the access line land after the HTTP response, so wait for them.
+	for _, want := range []string{"job queued", "job started", "job finished", `"msg":"request"`} {
+		waitForLog(t, logs, want, func(s string) bool { return strings.Contains(s, want) })
+	}
+	for _, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+		if !strings.Contains(line, rid) {
+			t.Errorf("log line missing request ID: %s", line)
+		}
+	}
+
+	// A request without the header gets a generated ID.
+	resp2, err := c.http().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if gen := resp2.Header.Get("X-Request-ID"); len(gen) != 16 {
+		t.Errorf("generated request ID %q, want 16 hex chars", gen)
+	}
+}
+
+// TestAccessLogSampling asserts -log-sample semantics: with LogSample=4,
+// 8 requests produce exactly 2 access lines.
+func TestAccessLogSampling(t *testing.T) {
+	logs := &syncBuffer{}
+	_, c := newTestServer(t, Config{
+		Workers:   1,
+		Logger:    slog.New(slog.NewJSONHandler(logs, nil)),
+		LogSample: 4,
+	})
+	for i := 0; i < 8; i++ {
+		resp, err := c.http().Get(c.BaseURL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	count := func(s string) int { return strings.Count(s, `"msg":"request"`) }
+	waitForLog(t, logs, "2 sampled access lines", func(s string) bool { return count(s) >= 2 })
+	time.Sleep(50 * time.Millisecond) // an over-sampled 3rd line would land here
+	if n := count(logs.String()); n != 2 {
+		t.Errorf("access lines = %d, want 2 of 8 at sample 4\n%s", n, logs.String())
+	}
+}
+
+// metricLine matches one histogram bucket sample in Prometheus text.
+var metricLine = regexp.MustCompile(`^(\w+)_bucket\{(.*)le="([^"]+)"\} (\d+)$`)
+
+// TestMetricsEndpointConsistency runs real traffic, then cross-checks the
+// two /metrics renderings: text buckets must be cumulative and
+// monotonic, and counter/histogram values must agree with the JSON
+// snapshot of the same families.
+func TestMetricsEndpointConsistency(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	for _, n := range []int{256, 512} {
+		if _, err := c.Analyze(ctx, Request{Algorithm: "fft", N: n, Kind: KindTrace, Wait: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := c.http().Get(c.BaseURL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := copyBody(&sb, resp); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	text := get("/metrics")
+	var snap MetricsSnapshot
+	if err := json.Unmarshal([]byte(get("/metrics?format=json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != MetricsSchema {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+
+	// The new histograms exist and saw the two jobs.
+	if snap.QueueWait.Count < 2 {
+		t.Errorf("queue_wait count = %d, want >= 2", snap.QueueWait.Count)
+	}
+	if len(snap.Runs) == 0 {
+		t.Error("run_ms has no engine series")
+	}
+	for _, name := range []string{"nobld_queue_wait_ms_bucket", "nobld_run_ms_bucket"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("text metrics missing %q", name)
+		}
+	}
+
+	// Buckets in the text rendering are cumulative and monotonic per
+	// series, ending at +Inf == _count.
+	type series struct {
+		last   int64
+		inf    int64
+		hasInf bool
+	}
+	perSeries := map[string]*series{}
+	for _, line := range strings.Split(text, "\n") {
+		m := metricLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		key := m[1] + "{" + m[2] + "}"
+		v, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value %q: %v", m[4], err)
+		}
+		s := perSeries[key]
+		if s == nil {
+			s = &series{}
+			perSeries[key] = s
+		}
+		if v < s.last {
+			t.Errorf("%s: bucket le=%s value %d < previous %d (not cumulative)", key, m[3], v, s.last)
+		}
+		s.last = v
+		if m[3] == "+Inf" {
+			s.inf, s.hasInf = v, true
+		}
+	}
+	if len(perSeries) == 0 {
+		t.Fatal("no histogram buckets in text rendering")
+	}
+	for key, s := range perSeries {
+		if !s.hasInf {
+			t.Errorf("%s: no +Inf bucket", key)
+		}
+	}
+
+	// Counter agreement between the renderings: every request count in
+	// the JSON appears verbatim in the text (same snapshot per request,
+	// and the second request added only the metrics endpoint's own hit,
+	// which text/JSON both postdate).
+	for endpoint, n := range snap.Requests {
+		want := `nobld_requests_total{endpoint="` + endpoint + `"} ` + strconv.FormatInt(n, 10)
+		if endpoint == "metrics" {
+			continue // racing against our own scrapes
+		}
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q", want)
+		}
+	}
+	// Histogram agreement: JSON latency counts equal the text _count.
+	for algo, h := range snap.Latency {
+		want := `nobld_latency_ms_count{algorithm="` + algo + `"} ` + strconv.FormatInt(h.Count, 10)
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q", want)
+		}
+	}
+}
+
+// TestQueueWaitObserved asserts the queue-wait histogram measures real
+// queue time: a job that waited behind a slot records a wait.
+func TestQueueWaitObserved(t *testing.T) {
+	srv, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	if _, err := c.Analyze(ctx, Request{Algorithm: "fft", N: 256, Kind: KindTrace, Wait: true}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := srv.metricsSnapshot(srv.metrics.reg.Snapshot())
+		if snap.QueueWait.Count >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue-wait histogram never observed a job")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -4,16 +4,19 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netoblivious/alg"
 	"netoblivious/internal/core"
 	"netoblivious/internal/harness"
 	"netoblivious/internal/network"
+	"netoblivious/internal/obs"
 )
 
 // Config tunes a Server.  The zero value is usable: every field has a
@@ -46,6 +49,16 @@ type Config struct {
 	// Engine is the execution engine for every specification run; nil
 	// means core.DefaultEngine().
 	Engine core.Engine
+	// Logger receives the service's structured logs (access lines, job
+	// lifecycle); nil discards them.
+	Logger *slog.Logger
+	// LogSample emits one access-log line per N requests (job lifecycle
+	// lines are never sampled); 0 or 1 logs every request.
+	LogSample int
+	// Probe, when non-nil, collects a Chrome-traceable timeline of the
+	// server's work: job spans, trace-store hits and compute spans, and —
+	// through the store — every engine's per-superstep spans.
+	Probe *obs.Probe
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +83,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Engine == nil {
 		c.Engine = core.DefaultEngine()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.LogSample <= 0 {
+		c.LogSample = 1
 	}
 	return c
 }
@@ -106,10 +125,13 @@ type BatchResponse struct {
 
 // JobInfo is the GET /v1/jobs/{id} payload.
 type JobInfo struct {
-	ID      string    `json:"id"`
-	Status  JobStatus `json:"status"`
-	Request Request   `json:"request"`
-	Events  []Event   `json:"events"`
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	// RequestID is the correlation ID of the request that created the
+	// job; requests that joined an in-flight job see the creator's ID.
+	RequestID string  `json:"request_id,omitempty"`
+	Request   Request `json:"request"`
+	Events    []Event `json:"events"`
 	// Response is present once the job is terminal.
 	Response *Response `json:"response,omitempty"`
 }
@@ -151,8 +173,14 @@ type Server struct {
 	results *core.Store[*harness.Document]
 	traces  *harness.TraceStore
 	sched   *scheduler
-	metrics metrics
+	metrics *metrics
 	mux     *http.ServeMux
+	logger  *slog.Logger
+	probe   *obs.Probe
+	started time.Time
+
+	// accessSeq numbers served requests for access-log sampling.
+	accessSeq atomic.Uint64
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -179,14 +207,20 @@ func New(cfg Config) (*Server, error) {
 		}
 		traces = ts
 	}
+	traces.SetProbe(cfg.Probe)
 	s := &Server{
 		cfg:     cfg,
 		engine:  cfg.Engine,
 		results: core.NewBoundedStore[*harness.Document](cfg.CacheEntries),
 		traces:  traces,
 		sched:   newScheduler(cfg.QueueLimit),
+		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
+		logger:  cfg.Logger,
+		probe:   cfg.Probe,
+		started: time.Now(),
 	}
+	s.registerGauges()
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
@@ -204,8 +238,65 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Handler returns the HTTP handler of the service.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler of the service: the API mux wrapped
+// in the observability middleware (request-ID propagation and sampled
+// access logging).
+func (s *Server) Handler() http.Handler { return s.withObservability(s.mux) }
+
+// ctxKeyRequestID keys the per-request correlation ID in the request
+// context.
+type ctxKeyRequestID struct{}
+
+// requestIDFrom returns the request's correlation ID, or "" outside a
+// served request.
+func requestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return rid
+}
+
+// statusWriter records the response status for the access log.  It
+// forwards Flush so SSE streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withObservability assigns every request a correlation ID — the
+// client's X-Request-ID when present, a fresh one otherwise — echoes it
+// on the response, threads it through the context (jobs started by the
+// request inherit it), and writes a sampled structured access line.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID{}, rid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if n := s.accessSeq.Add(1); s.cfg.LogSample <= 1 || n%uint64(s.cfg.LogSample) == 1 {
+			s.logger.Info("request",
+				"request_id", rid,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"dur_ms", ms(time.Since(start)))
+		}
+	})
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -255,8 +346,28 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// HealthResponse is the GET /healthz payload: liveness plus enough
+// build and runtime identity to tell *which* binary answered.
+type HealthResponse struct {
+	Status     string  `json:"status"`
+	Engine     string  `json:"engine"`
+	Version    string  `json:"version"`
+	GoVersion  string  `json:"go_version"`
+	UptimeSec  float64 `json:"uptime_sec"`
+	Gomaxprocs int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "engine": s.engine.Name()})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     "ok",
+		Engine:     s.engine.Name(),
+		Version:    obs.BuildVersion(),
+		GoVersion:  runtime.Version(),
+		UptimeSec:  time.Since(s.started).Seconds(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Workers:    s.cfg.Workers,
+	})
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
@@ -316,7 +427,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Responses[i] = *resp
 			continue
 		}
-		j, resp2 := s.startJob(req)
+		j, resp2 := s.startJob(r.Context(), req)
 		if j == nil {
 			out.Responses[i] = *resp2
 			continue
@@ -338,7 +449,7 @@ func (s *Server) analyze(ctx context.Context, req Request) (Response, int) {
 	if resp, status := s.analyzeStart(ctx, &req); resp != nil {
 		return *resp, status
 	}
-	j, resp := s.startJob(req)
+	j, resp := s.startJob(ctx, req)
 	if j == nil {
 		return *resp, http.StatusServiceUnavailable
 	}
@@ -372,15 +483,26 @@ func (s *Server) analyzeStart(ctx context.Context, req *Request) (*Response, int
 	return nil, 0
 }
 
-// startJob enqueues (or joins) the job computing req's key.
-func (s *Server) startJob(req Request) (*job, *Response) {
-	j, created, err := s.sched.enqueue(s.requestKey(req), req)
+// startJob enqueues (or joins) the job computing req's key.  A created
+// job inherits the request's correlation ID; a joined one keeps the ID
+// of the request that created it (the job ran for that one).
+func (s *Server) startJob(ctx context.Context, req Request) (*job, *Response) {
+	rid := requestIDFrom(ctx)
+	j, created, err := s.sched.enqueue(s.requestKey(req), req, rid)
 	if err != nil {
 		s.metrics.jobsRejected.Add(1)
+		s.logger.Warn("job rejected", "request_id", rid, "error", err.Error())
 		return nil, &Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: err.Error()}
 	}
 	if created {
 		j.publish("queued", fmt.Sprintf("priority=%d", req.Priority))
+		s.logger.Info("job queued",
+			"job", j.id,
+			"request_id", j.requestID,
+			"kind", string(j.req.Kind),
+			"algorithm", j.req.Algorithm,
+			"n", j.req.N,
+			"priority", j.req.Priority)
 	}
 	return j, nil
 }
@@ -414,7 +536,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status, events, resp := j.snapshot()
-	writeJSON(w, http.StatusOK, JobInfo{ID: j.id, Status: status, Request: j.req, Events: events, Response: resp})
+	writeJSON(w, http.StatusOK, JobInfo{ID: j.id, Status: status, RequestID: j.requestID, Request: j.req, Events: events, Response: resp})
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -426,7 +548,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cancelJob(j)
 	status, _, resp := j.snapshot()
-	writeJSON(w, http.StatusOK, JobInfo{ID: j.id, Status: status, Request: j.req, Response: resp})
+	writeJSON(w, http.StatusOK, JobInfo{ID: j.id, Status: status, RequestID: j.requestID, Request: j.req, Response: resp})
 }
 
 // handleJobEvents streams the job's progress as server-sent events: every

@@ -194,7 +194,7 @@ func TestTraceMemBudgetSpills(t *testing.T) {
 	if st.Spills < 1 {
 		t.Errorf("spills = %d, want >= 1 under a 1-byte budget", st.Spills)
 	}
-	snap := srv.metricsSnapshot()
+	snap := srv.metricsSnapshot(srv.metrics.reg.Snapshot())
 	if snap.Spill == nil {
 		t.Error("metrics snapshot missing trace_spill section")
 	}
@@ -454,7 +454,7 @@ func TestSingleFlightDedupOfInflightRequests(t *testing.T) {
 	if misses := srv.results.Stats().Misses; misses != 1 {
 		t.Errorf("computation ran %d times for one key, want 1", misses)
 	}
-	if done := srv.metrics.jobsDone.Load(); done != 1 {
+	if done := srv.metrics.jobsDone.Value(); done != 1 {
 		t.Errorf("%d jobs completed for one key, want 1 (dedup broken)", done)
 	}
 }
@@ -550,7 +550,7 @@ func TestQueueLimitRejects(t *testing.T) {
 	if rejected == 0 {
 		t.Error("no request was rejected by a queue of capacity 1")
 	}
-	if srv.metrics.jobsRejected.Load() == 0 {
+	if srv.metrics.jobsRejected.Value() == 0 {
 		t.Error("rejections not counted")
 	}
 }
@@ -566,7 +566,7 @@ func TestPriorityOrdering(t *testing.T) {
 		{"a", 0}, {"b", 5}, {"c", 5}, {"d", 9},
 	}
 	for _, k := range keys {
-		if _, created, err := sched.enqueue(k.key, Request{Priority: k.pri}); err != nil || !created {
+		if _, created, err := sched.enqueue(k.key, Request{Priority: k.pri}, ""); err != nil || !created {
 			t.Fatalf("enqueue %s: created=%v err=%v", k.key, created, err)
 		}
 	}
@@ -579,19 +579,19 @@ func TestPriorityOrdering(t *testing.T) {
 		t.Errorf("pop order %s, want %s", joined, want)
 	}
 	// Dedup: re-enqueueing an in-flight key joins the existing job.
-	j1, created, _ := sched.enqueue("x", Request{})
+	j1, created, _ := sched.enqueue("x", Request{}, "")
 	if !created {
 		t.Fatal("fresh key not created")
 	}
-	j2, created, _ := sched.enqueue("x", Request{})
+	j2, created, _ := sched.enqueue("x", Request{}, "")
 	if created || j1 != j2 {
 		t.Error("in-flight dedup did not return the existing job")
 	}
 	// A joining duplicate with higher priority raises the queued job so
 	// the joiner is not stuck behind the original's priority.
-	y, _, _ := sched.enqueue("y", Request{Priority: 1})
-	sched.enqueue("z", Request{Priority: 5})
-	if _, created, _ := sched.enqueue("y", Request{Priority: 9}); created {
+	y, _, _ := sched.enqueue("y", Request{Priority: 1}, "")
+	sched.enqueue("z", Request{Priority: 5}, "")
+	if _, created, _ := sched.enqueue("y", Request{Priority: 9}, ""); created {
 		t.Fatal("duplicate treated as fresh")
 	}
 	if first := sched.next(); first != y {
@@ -606,7 +606,7 @@ func TestJobRetentionBounded(t *testing.T) {
 	sched := newScheduler(0)
 	sched.retention = 3
 	for i := 0; i < 10; i++ {
-		j, _, err := sched.enqueue(string(rune('a'+i)), Request{})
+		j, _, err := sched.enqueue(string(rune('a'+i)), Request{}, "")
 		if err != nil {
 			t.Fatal(err)
 		}
