@@ -155,7 +155,10 @@ type SizeError = alg.SizeError
 // RegisterAlgorithm adds a user-defined algorithm to the open registry,
 // making it traceable, analyzable and listable by every surface in the
 // repository.
-func RegisterAlgorithm(a Algorithm) error { return alg.Register(a) }
+func RegisterAlgorithm(a Algorithm) error {
+	//nolint:reginit // public API forwarder: external callers register from their own init functions
+	return alg.Register(a)
+}
 
 // AlgorithmByName looks up a registered algorithm (map-backed).
 func AlgorithmByName(name string) (Algorithm, bool) { return alg.ByName(name) }

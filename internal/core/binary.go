@@ -68,7 +68,11 @@ func (bw *TraceBinaryWriter) BeginTrace(v, logV int) error {
 	return err
 }
 
-// WriteStep implements TraceSink.
+// WriteStep implements TraceSink.  The binary frame layout is part of
+// the archived-trace format and must be byte-identical across runs of
+// the same trace.
+//
+//nob:deterministic
 func (bw *TraceBinaryWriter) WriteStep(rec StepRec) error {
 	if !bw.started || bw.ended {
 		return fmt.Errorf("core: trace writer: WriteStep outside BeginTrace/EndTrace")

@@ -314,6 +314,10 @@ func (b *blockRun[P]) sync(vp *VP[P], label int) {
 }
 
 // worker drives the VP block [w·bs, (w+1)·bs) through supersteps.
+// Cancellation reaches the loop through coordinate (run by one worker
+// per barrier generation), which checks the machine's context.
+//
+//nob:ctxloop
 func (b *blockRun[P]) worker(w int, prog Program[P]) {
 	m := b.m
 	lo, hi := w*b.bs, (w+1)*b.bs

@@ -172,4 +172,31 @@
 //
 // Custom engines are not possible (the Engine interface is sealed), so
 // the contract doubles as the exhaustive list of span sources in core.
+//
+// # Enforced invariants (static analysis)
+//
+// The prose contracts above are machine-checked: internal/lint defines
+// six analyzers, cmd/noblint runs them over the module, and CI fails on
+// any diagnostic.  The mapping from invariant to analyzer:
+//
+//	invariant                                          analyzer   annotation
+//	-------------------------------------------------  ---------  ------------------
+//	deterministic outputs (CompileSchedule, codec       maporder   //nob:deterministic
+//	  writers, Route*, /metrics and Chrome-trace
+//	  renderers) never iterate a map unsorted
+//	every exported *obs.Probe method begins with a      nilprobe   //nob:nilsafe
+//	  nil-receiver guard (the nil-probe guarantee)
+//	engine superstep loops and job-queue workers        ctxflow    //nob:ctxloop
+//	  consult the run context in every blocking loop
+//	a StepRec handed to TraceSink.WriteStep is not      sinkown    (none: inferred
+//	  reused by the caller (ownership transfer)                     from signatures)
+//	alg.Register/MustRegister only called from init()   reginit    (none: inferred
+//	  in register.go files                                          from call sites)
+//	annotated hot paths stay allocation-free: no fmt,   hotalloc   //nob:hotpath
+//	  interface boxing, escaping closures, or
+//	  unhinted append growth in loops
+//
+// Suppressions take the form `//nolint:<analyzer> // reason` on (or
+// immediately above) the flagged line; see the README's "Static
+// analysis" section and the package documentation of internal/lint.
 package core

@@ -62,6 +62,10 @@ func (jw *TraceJSONWriter) BeginTrace(v, logV int) error {
 }
 
 // WriteStep implements TraceSink: it appends one superstep record.
+// Its output is part of the archived-trace format and must be
+// byte-identical across runs of the same trace.
+//
+//nob:deterministic
 func (jw *TraceJSONWriter) WriteStep(rec StepRec) error {
 	if !jw.started || jw.ended {
 		return fmt.Errorf("core: trace writer: WriteStep outside BeginTrace/EndTrace")
@@ -121,6 +125,8 @@ func (jw *TraceJSONWriter) Steps() int { return jw.steps }
 // re-analyzed (folded, costed on new machines) without re-executing the
 // algorithm.  It streams through TraceJSONWriter, so encoding buffers
 // one superstep at a time rather than rendering the whole document.
+//
+//nob:deterministic
 func (t *Trace) EncodeJSON(w io.Writer) error {
 	jw := NewTraceJSONWriter(w)
 	if err := jw.BeginTrace(t.V, t.LogV); err != nil {

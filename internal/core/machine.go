@@ -203,6 +203,10 @@ func (vp *VP[P]) Sync(label int) {
 
 // syncGoroutine is the GoroutineEngine barrier: park on the cluster's
 // condition variable; the last arriver delivers the cluster's messages.
+// The last-arriver branch checks the run context before releasing the
+// cluster, which is how cancellation reaches every parked VP.
+//
+//nob:ctxloop
 func (vp *VP[P]) syncGoroutine(label int) {
 	m := vp.m
 	cluster := 0
@@ -242,6 +246,7 @@ func (vp *VP[P]) syncGoroutine(label int) {
 		gen := b.gen
 		m.parked.Add(1)
 		m.checkDeadlock()
+		//nolint:ctxflow // parked waiters cannot poll: the last arriver checks the context and broadcasts, flipping aborted
 		for b.gen == gen && !m.aborted.Load() {
 			b.cond.Wait()
 		}

@@ -56,6 +56,11 @@ func (s *Schedule) NumSupersteps() int { return len(s.steps) }
 // CompileSchedule compiles tr — a trace recorded with RecordMessages —
 // into a replayable Schedule.  It is exported for tests and offline
 // tooling; the ReplayEngine compiles on first miss automatically.
+// Compilation must be byte-deterministic: the sharded-nobld roadmap
+// item keys cache entries by compiled schedules, so two compiles of
+// the same trace must agree exactly.
+//
+//nob:deterministic
 func CompileSchedule(tr *Trace) (*Schedule, error) {
 	s := &Schedule{v: tr.V, logV: tr.LogV, steps: make([]schedStep, len(tr.Steps))}
 	degBacking := make([]int64, len(tr.Steps)*(tr.LogV+1))
@@ -352,6 +357,8 @@ func KeyedReplay(eng Engine, algorithm string, n int) Engine {
 // scheduleKey renders the store key for one RunOpt invocation:
 // "algorithm/n=N@replay#idx".  Built by hand — this is on the warm
 // per-run path and must stay within the replay allocation budget.
+//
+//nob:hotpath
 func scheduleKey(k TraceKey, idx int) string {
 	b := make([]byte, 0, len(k.Algorithm)+len(k.Engine)+16)
 	b = append(b, k.Algorithm...)

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlowAnalyzer checks that functions annotated //nob:ctxloop — the
+// engine superstep loops and the service job-queue workers — actually
+// consult a context inside every for loop they contain.  A superstep
+// loop that never looks at Options.Ctx turns cancellation into a hang:
+// the daemon's DELETE /jobs/{id} returns 202 and the job spins forever.
+//
+// Checked loops are the ones that can actually stall: `for { … }` with
+// no condition, and any loop whose body blocks (sync.Cond.Wait, channel
+// send or receive, select).  Bounded counting sweeps — `for r := lo;
+// r < hi; r++` over a VP block — terminate on their own and are exempt.
+//
+// A checked loop passes when its body references a
+// context.Context-typed expression directly, or references (calls,
+// passes, or takes a method value of) a same-package function that
+// transitively does.  That matches how the engines are written: the
+// block-engine worker checks ctx through barArrive → coordinate →
+// ctxErr rather than inline.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "//nob:ctxloop functions must consult a context.Context in every blocking loop",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	decls := funcDecls(p)
+	// Fixed point: which package functions touch a context anywhere in
+	// their bodies, directly or via same-package references.
+	touches := map[*types.Func]bool{}
+	for obj, fn := range decls {
+		if bodyTouchesContext(p, fn.Body) {
+			touches[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, fn := range decls {
+			if touches[obj] {
+				continue
+			}
+			for _, ref := range samePkgRefs(p, fn) {
+				if touches[ref] {
+					touches[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for obj, fn := range decls {
+		if !FuncAnnotated(fn, "ctxloop") {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			unconditional := false
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				body = s.Body
+				unconditional = s.Cond == nil
+			case *ast.RangeStmt:
+				body = s.Body
+			default:
+				return true
+			}
+			if !unconditional && !loopBlocks(p, body) {
+				return true // bounded sweep: terminates on its own
+			}
+			if !loopConsultsContext(p, body, touches) {
+				p.Reportf(n.Pos(),
+					"blocking loop in //nob:ctxloop function %s never consults a context.Context; cancellation cannot stop it",
+					obj.Name())
+			}
+			// Keep walking: each nested loop is judged on its own body.
+			return true
+		})
+	}
+}
+
+// bodyTouchesContext reports whether any expression in body has type
+// context.Context (a ctx variable, Options.Ctx field, ctx.Err() call
+// receiver, and so on).
+func bodyTouchesContext(p *Pass, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isContextType(p.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopBlocks reports whether the loop body contains a blocking
+// primitive: a channel operation, a select, or a sync.Cond Wait.
+func loopBlocks(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if isNamedType(p.TypeOf(sel.X), "sync", "Cond") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopConsultsContext reports whether the loop body references a
+// context directly or references a same-package function known to.
+func loopConsultsContext(p *Pass, body *ast.BlockStmt, touches map[*types.Func]bool) bool {
+	if bodyTouchesContext(p, body) {
+		return true
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if f, ok := p.Info.Uses[id].(*types.Func); ok && f.Pkg() == p.Pkg && touches[f.Origin()] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// commentGroupHasDirective reports whether any comment line in g is the
+// directive //<name> (directives are unspaced, like //go:build).
+func commentGroupHasDirective(g *ast.CommentGroup, name string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		// A directive may carry a trailing explanation after whitespace.
+		if text == name || strings.HasPrefix(text, name+" ") || strings.HasPrefix(text, name+"\t") {
+			return true
+		}
+	}
+	return false
+}
+
+// nolintNames parses one comment's //nolint directive into the analyzer
+// names it suppresses; nil when the comment is not a nolint directive.
+// Accepted forms:
+//
+//	//nolint:maporder
+//	//nolint:maporder,hotalloc // reason
+//	//nolint:all // reason
+func nolintNames(text string) []string {
+	rest, ok := strings.CutPrefix(text, "//nolint:")
+	if !ok {
+		return nil
+	}
+	// Strip the conventional trailing reason.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// suppressKey identifies one (file, line, analyzer) suppression slot.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppressions collects every //nolint directive of the package into a
+// set of (file, line, analyzer) keys.  A directive suppresses its own
+// line; a directive that is the only content of its line also
+// suppresses the line below, so block-style suppression reads
+//
+//	//nolint:maporder // reason
+//	for k := range m { ... }
+func suppressions(pkg *Package) map[suppressKey]bool {
+	set := map[suppressKey]bool{}
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				names := nolintNames(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := []int{pos.Line}
+				// Own-line comments cover the next source line too.
+				if isOwnLine(pkg, c) {
+					lines = append(lines, pos.Line+1)
+				}
+				for _, line := range lines {
+					for _, n := range names {
+						set[suppressKey{pos.Filename, line, n}] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// isOwnLine reports whether comment c starts its source line (nothing
+// but whitespace before it), i.e. it is not a trailing comment.
+func isOwnLine(pkg *Package, c *ast.Comment) bool {
+	if pkg.Fset.Position(c.Pos()).Column == 1 {
+		return true
+	}
+	return onlyIndentBefore(pkg, c)
+}
+
+// onlyIndentBefore checks the raw source: a comment is own-line when
+// nothing but whitespace precedes it on its line.
+func onlyIndentBefore(pkg *Package, c *ast.Comment) bool {
+	file := pkg.Fset.File(c.Pos())
+	if file == nil {
+		return false
+	}
+	line := file.Line(c.Pos())
+	lineStart := file.LineStart(line)
+	src, ok := pkg.Sources[file.Name()]
+	if !ok {
+		return false
+	}
+	off := file.Offset(c.Pos())
+	start := file.Offset(lineStart)
+	if start < 0 || off > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:off])) == ""
+}
+
+// suppress filters out diagnostics of pkg covered by a //nolint
+// directive.  Diagnostics of other packages pass through untouched.
+func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	set := suppressions(pkg)
+	if len(set) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if set[suppressKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			set[suppressKey{d.Pos.Filename, d.Pos.Line, "all"}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

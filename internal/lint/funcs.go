@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcDecls returns every function declaration of the pass's package
+// with a body, paired with its types object.
+func funcDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+				out[obj] = fn
+			}
+		}
+	}
+	return out
+}
+
+// samePkgRefs returns the same-package functions referenced anywhere in
+// fn's body — called directly, passed as values, or taken as method
+// values.  It is the edge set of the package-local reachability graphs
+// maporder and ctxflow walk.
+func samePkgRefs(p *Pass, fn *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if f, ok := p.Info.Uses[id].(*types.Func); ok && f.Pkg() == p.Pkg {
+			// Methods of generic types resolve to instantiated objects;
+			// Origin maps them back to the declared function funcDecls
+			// indexes by.
+			out = append(out, f.Origin())
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingFuncDecl returns the top-level function declaration whose
+// body contains pos, or nil (package-level initializers).
+func enclosingFuncDecl(p *Pass, pos ast.Node) *ast.FuncDecl {
+	for _, f := range p.Files {
+		if f.Pos() > pos.Pos() || pos.Pos() > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Body.Pos() <= pos.Pos() && pos.Pos() <= fn.Body.End() {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// fileOf returns the *ast.File containing pos.
+func fileOf(p *Pass, pos ast.Node) *ast.File {
+	for _, f := range p.Files {
+		if f.Pos() <= pos.Pos() && pos.Pos() <= f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+// isNamedType reports whether t (after pointer stripping) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && isNamedType(t, "context", "Context")
+}
+
+// recvIdent returns the receiver identifier of a method declaration, or
+// nil for an anonymous receiver.
+func recvIdent(fn *ast.FuncDecl) *ast.Ident {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return fn.Recv.List[0].Names[0]
+}

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocAnalyzer polices the per-superstep hot paths.  A function
+// annotated //nob:hotpath runs once per superstep or once per routed
+// message, where PR 5's zero-allocation discipline is what keeps the
+// router at memory bandwidth.  Inside such a function the analyzer
+// flags the four allocation sources that have actually regressed these
+// paths before:
+//
+//   - any call into the fmt package (Sprintf formats, boxes, and
+//     allocates even when the result is discarded);
+//   - interface boxing: a non-pointer concrete value converted or
+//     passed where an interface is expected (pointers are exempt — the
+//     pointee does not move);
+//   - a function literal that captures variables of the enclosing
+//     function (captured-by-closure variables escape to the heap);
+//   - append in a loop onto a slice with no capacity hint — neither
+//     make(..., n) nor a reuse-reslice v[:0] in the same function.
+//
+// Cold error paths inside a hot function (panics on programmer error)
+// take a line-level //nolint:hotalloc with a reason.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//nob:hotpath functions must not call fmt, box interfaces, capture closures, or append unhinted in loops",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	decls := funcDecls(p)
+	for obj, fn := range decls {
+		if !FuncAnnotated(fn, "hotpath") {
+			continue
+		}
+		hinted := capHintedSlices(p, fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// A flagged fmt call subsumes the boxing its variadic
+				// args would also trigger — one diagnostic per cause.
+				if !checkFmtCall(p, n, obj.Name()) {
+					checkBoxingCall(p, n, obj.Name())
+				}
+			case *ast.FuncLit:
+				if capt := capturedVar(p, fn, n); capt != "" {
+					p.Reportf(n.Pos(),
+						"closure in //nob:hotpath function %s captures %s, forcing it to escape to the heap",
+						obj.Name(), capt)
+				}
+			case *ast.CompositeLit:
+				checkBoxingComposite(p, n, obj.Name())
+			}
+			return true
+		})
+		checkLoopAppends(p, fn, obj.Name(), hinted)
+	}
+}
+
+// checkFmtCall flags any call whose callee lives in package fmt,
+// reporting whether it did.
+func checkFmtCall(p *Pass, call *ast.CallExpr, where string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "fmt" {
+		return false
+	}
+	p.Reportf(call.Pos(), "fmt.%s in //nob:hotpath function %s allocates per call; format off the hot path", f.Name(), where)
+	return true
+}
+
+// checkBoxingCall flags non-pointer concrete arguments passed to
+// interface-typed parameters (including variadic ...interface{}).
+func checkBoxingCall(p *Pass, call *ast.CallExpr, where string) {
+	sig := calleeSignature(p, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		if boxes(p, arg, pt) {
+			p.Reportf(arg.Pos(), "argument boxes a concrete value into an interface in //nob:hotpath function %s; pass a pointer or move this off the hot path", where)
+		}
+	}
+}
+
+// checkBoxingComposite flags concrete non-pointer elements stored into
+// composite literals with interface element types ([]any{...} etc.).
+func checkBoxingComposite(p *Pass, lit *ast.CompositeLit, where string) {
+	t := p.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	case *types.Map:
+		elem = u.Elem()
+	default:
+		return
+	}
+	if _, ok := elem.Underlying().(*types.Interface); !ok {
+		return
+	}
+	for _, e := range lit.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		if boxes(p, e, elem) {
+			p.Reportf(e.Pos(), "composite literal element boxes a concrete value into an interface in //nob:hotpath function %s", where)
+		}
+	}
+}
+
+// boxes reports whether storing expr into a slot of type target forces
+// an interface allocation: target is an interface, expr's type is a
+// concrete non-pointer, non-interface, non-nil value.
+func boxes(p *Pass, expr ast.Expr, target types.Type) bool {
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	at := p.TypeOf(expr)
+	if at == nil {
+		return false
+	}
+	if _, ok := at.Underlying().(*types.Interface); ok {
+		return false // interface-to-interface: no new box
+	}
+	if _, ok := at.(*types.Pointer); ok {
+		return false // pointer values ride in the iface word
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// calleeSignature resolves the call's function signature, skipping
+// builtins and type conversions.
+func calleeSignature(p *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		// panic(x) boxes its argument: treat the builtin specially.
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" && len(call.Args) == 1 {
+			return panicSignature
+		}
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// panicSignature models panic's (v any) parameter for boxing checks.
+var panicSignature = types.NewSignatureType(nil, nil, nil,
+	types.NewTuple(types.NewVar(token.NoPos, nil, "v",
+		types.NewInterfaceType(nil, nil))), nil, false)
+
+// paramType returns the type of parameter slot i, unrolling variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// capturedVar returns the name of a variable of the enclosing function
+// captured by the literal, or "" when the closure is self-contained.
+func capturedVar(p *Pass, outer *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the outer function but outside
+		// the literal.
+		if v.Pos() >= outer.Pos() && v.Pos() <= outer.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() <= lit.End()) {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+// capHintedSlices collects slice variables the function demonstrably
+// sized: assigned from make(T, …) with a length or capacity, or from a
+// reuse-reslice v[:0] of an existing buffer.
+func capHintedSlices(p *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	hinted := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if isCapHintExpr(p, asg.Rhs[i]) {
+				hinted[obj] = true
+			}
+		}
+		return true
+	})
+	return hinted
+}
+
+// isCapHintExpr matches make([]T, n[, c]) and v[:0]-style reslices.
+func isCapHintExpr(p *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) < 2 {
+			return false
+		}
+		b, ok := p.Info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "make"
+	case *ast.SliceExpr:
+		// v[:0] (or v[0:0]): reusing an existing buffer's capacity.
+		high, ok := e.High.(*ast.BasicLit)
+		return ok && high.Value == "0"
+	}
+	return false
+}
+
+// checkLoopAppends flags append-onto-unhinted-slice inside any loop of
+// the hot function.
+func checkLoopAppends(p *Pass, fn *ast.FuncDecl, where string, hinted map[types.Object]bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			body = s.Body
+		case *ast.RangeStmt:
+			body = s.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" {
+				return true
+			}
+			if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+				return true
+			}
+			target, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				return true // appends to fields/elements: out of scope
+			}
+			obj := p.Info.Uses[target]
+			if obj == nil || hinted[obj] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"append to %s in a loop of //nob:hotpath function %s without a capacity hint; preallocate with make or reuse a buffer via %s[:0]",
+				target.Name, where, target.Name)
+			return true
+		})
+		return false // the inner walk covered nested loops' bodies too
+	})
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// repoRoot is the module root, two levels above this package.
+var repoRoot = filepath.Join("..", "..")
+
+var (
+	expOnce sync.Once
+	expData *ExportData
+	expErr  error
+)
+
+// loadExports builds the export map once per test binary; every fixture
+// package resolves its imports (including module-internal ones) from it.
+func loadExports(t *testing.T) *ExportData {
+	t.Helper()
+	expOnce.Do(func() {
+		expData, expErr = LoadExports(repoRoot, "./...")
+	})
+	if expErr != nil {
+		t.Fatalf("loading export data: %v", expErr)
+	}
+	return expData
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// parseWants collects the fixture's `// want "regex"` expectations,
+// keyed by the line the comment sits on.
+func parseWants(t *testing.T, pkg *Package) map[wantKey]*regexp.Regexp {
+	t.Helper()
+	wants := map[wantKey]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[wantKey{pos.Filename, pos.Line}] = re
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/<analyzer name>, runs the analyzer through
+// the same suppression path as noblint, and matches the diagnostics
+// against the fixture's want comments — both directions: no unexpected
+// diagnostic, no unmatched expectation.
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	exp := loadExports(t)
+	pkg, err := LoadFixture(filepath.Join("testdata", a.Name), exp)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	wants := parseWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture for %s declares no want expectations", a.Name)
+	}
+	for _, d := range RunAnalyzers([]*Package{pkg}, []*Analyzer{a}) {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		if re, ok := wants[key]; ok && re.MatchString(d.Message) {
+			delete(wants, key)
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for k, re := range wants {
+		t.Errorf("%s:%d: want diagnostic matching %q, got none", k.file, k.line, re)
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) { runFixture(t, MapOrderAnalyzer) }
+func TestNilProbeFixture(t *testing.T) { runFixture(t, NilProbeAnalyzer) }
+func TestCtxFlowFixture(t *testing.T)  { runFixture(t, CtxFlowAnalyzer) }
+func TestSinkOwnFixture(t *testing.T)  { runFixture(t, SinkOwnAnalyzer) }
+func TestRegInitFixture(t *testing.T)  { runFixture(t, RegInitAnalyzer) }
+func TestHotAllocFixture(t *testing.T) { runFixture(t, HotAllocAnalyzer) }
+
+// TestRepoIsLintClean is the meta-test backing CI's lint job: the full
+// suite over the whole module must produce zero diagnostics.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide analysis skipped in -short mode")
+	}
+	pkgs, _, err := Load(repoRoot, "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern ./... seems wrong", len(pkgs))
+	}
+	for _, d := range RunAnalyzers(pkgs, Analyzers()) {
+		t.Errorf("noblint: %s", d)
+	}
+}
+
+func TestAnalyzerByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		got, err := AnalyzerByName(a.Name)
+		if err != nil || got != a {
+			t.Errorf("AnalyzerByName(%q) = %v, %v", a.Name, got, err)
+		}
+	}
+	if _, err := AnalyzerByName("nope"); err == nil {
+		t.Error("AnalyzerByName(nope) succeeded; want error listing the suite")
+	}
+}
+
+func TestNolintParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"//nolint:maporder", []string{"maporder"}},
+		{"//nolint:maporder,hotalloc // reason", []string{"maporder", "hotalloc"}},
+		{"//nolint:all // reason", []string{"all"}},
+		{"// nolint:maporder", nil}, // spaced: not a directive
+		{"//nolint", nil},           // bare nolint without names is ignored
+		{"// a comment", nil},
+	}
+	for _, c := range cases {
+		got := nolintNames(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("nolintNames(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("nolintNames(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	Path    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Sources map[string][]byte // file path -> raw source (for directive layout)
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// ExportData maps import paths to compiled export-data files, the
+// product of one `go list -export -deps` walk.  It is what lets the
+// loader type-check any package of the module (and the test fixtures)
+// against real dependency types without golang.org/x/tools.
+type ExportData struct {
+	files map[string]string
+}
+
+// Load enumerates the packages matching patterns (relative to dir, "" =
+// current directory), type-checks each in-module, non-test package from
+// source against build-cache export data, and returns them sorted by
+// import path together with the export map (reusable for fixture
+// loading).
+func Load(dir string, patterns ...string) ([]*Package, *ExportData, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exp := &ExportData{files: map[string]string{}}
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("lint: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exp.files[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := TypeCheck(t.ImportPath, t.Dir, files, exp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, exp, nil
+}
+
+// LoadExports runs the go list walk alone and returns the export map
+// without type-checking any matched package — all the fixture tests
+// need, at a fraction of Load's cost.
+func LoadExports(dir string, patterns ...string) (*ExportData, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exp := &ExportData{files: map[string]string{}}
+	for _, p := range listed {
+		if p.Export != "" {
+			exp.files[p.ImportPath] = p.Export
+		}
+	}
+	return exp, nil
+}
+
+// goList runs `go list -e -export -deps -json` over the patterns and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+	dec := json.NewDecoder(out)
+	var pkgs []listedPkg
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// TypeCheck parses and type-checks one package from the given source
+// files, resolving imports through the export map.  importPath is the
+// identity given to the checked package (fixtures use synthetic paths).
+func TypeCheck(importPath, dir string, files []string, exp *ExportData) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg := &Package{Path: importPath, Dir: dir, Fset: fset, Sources: map[string][]byte{}}
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Sources[name] = src
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("lint: package %s has no Go files", importPath)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exp.files[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q (fixtures may only import packages the module already uses)", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect all, report the first below
+	}
+	tpkg, err := conf.Check(importPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// LoadFixture type-checks the single package rooted at dir (every .go
+// file in it, including _test.go-named fixtures), for the analyzer
+// tests.  The synthetic import path keeps fixture packages out of the
+// module namespace.
+func LoadFixture(dir string, exp *ExportData) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: fixture: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	return TypeCheck("noblintfixture/"+filepath.Base(dir), dir, files, exp)
+}

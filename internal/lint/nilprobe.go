@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NilProbeAnalyzer enforces the probe contract: every exported method
+// with a pointer receiver on *obs.Probe — and on any type whose
+// declaration is annotated //nob:nilsafe — must begin with a
+// nil-receiver guard, so instrumented code can thread a nil probe at
+// zero cost.  Accepted openings:
+//
+//	if p == nil { return ... }     // guard statement first
+//	return p != nil                // single-return predicate methods
+//
+// The guard must be the method's first statement: a nil check after any
+// other work defeats the "free on the nil path" guarantee PR 8's
+// benchmarks gate.
+var NilProbeAnalyzer = &Analyzer{
+	Name: "nilprobe",
+	Doc:  "exported pointer methods on //nob:nilsafe types must start with a nil-receiver guard",
+	Run:  runNilProbe,
+}
+
+// nilsafeHardcoded lists types under the contract even without their
+// annotation, so deleting a comment cannot silently drop the check.
+var nilsafeHardcoded = map[[2]string]bool{
+	{"netoblivious/internal/obs", "Probe"}: true,
+}
+
+func runNilProbe(p *Pass) {
+	targets := map[string]bool{}
+	for key := range nilsafeHardcoded {
+		if p.Pkg.Path() == key[0] {
+			targets[key[1]] = true
+		}
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The annotation may sit on the type spec or, for a
+				// single-spec declaration, on the GenDecl.
+				if commentGroupHasDirective(ts.Doc, "nob:nilsafe") ||
+					(len(gd.Specs) == 1 && commentGroupHasDirective(gd.Doc, "nob:nilsafe")) {
+					targets[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || !fn.Name.IsExported() {
+				continue
+			}
+			tname, pointer := receiverType(p, fn)
+			if !pointer || !targets[tname] {
+				continue
+			}
+			recv := recvIdent(fn)
+			if recv == nil {
+				p.Reportf(fn.Pos(), "exported method %s on nil-safe type *%s has an anonymous receiver and cannot guard against nil", fn.Name.Name, tname)
+				continue
+			}
+			if !startsWithNilGuard(p, fn, recv) {
+				p.Reportf(fn.Pos(), "exported method %s on nil-safe type *%s must begin with a nil-receiver guard (if %s == nil { return ... })", fn.Name.Name, tname, recv.Name)
+			}
+		}
+	}
+}
+
+// receiverType resolves the receiver's named type and pointer-ness.
+func receiverType(p *Pass, fn *ast.FuncDecl) (string, bool) {
+	obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	ptr, isPtr := t.(*types.Pointer)
+	if !isPtr {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}
+
+// startsWithNilGuard reports whether the method's first statement
+// guards the nil receiver.
+func startsWithNilGuard(p *Pass, fn *ast.FuncDecl, recv *ast.Ident) bool {
+	if len(fn.Body.List) == 0 {
+		return false
+	}
+	recvObj := p.Info.Defs[recv]
+	switch s := fn.Body.List[0].(type) {
+	case *ast.IfStmt:
+		// if recv == nil { ...; return }
+		if !isRecvNilCompare(p, s.Cond, recvObj, "==") {
+			return false
+		}
+		if len(s.Body.List) == 0 {
+			return false
+		}
+		_, isRet := s.Body.List[len(s.Body.List)-1].(*ast.ReturnStmt)
+		return isRet
+	case *ast.ReturnStmt:
+		// return recv != nil (or any result derived from the comparison)
+		for _, r := range s.Results {
+			found := false
+			ast.Inspect(r, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					if isRecvNilCompare(p, e, recvObj, "!=") || isRecvNilCompare(p, e, recvObj, "==") {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isRecvNilCompare matches `recv <op> nil` / `nil <op> recv`.
+func isRecvNilCompare(p *Pass, e ast.Expr, recvObj types.Object, op string) bool {
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || be.Op.String() != op {
+		return false
+	}
+	isRecv := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && recvObj != nil && p.Info.Uses[id] == recvObj
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, builtin := p.Info.Uses[id].(*types.Nil)
+		return builtin
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// RegInitAnalyzer pins down where algorithms enter the registry:
+// alg.Register / alg.MustRegister may only be called from an init()
+// function in a file named register.go.  Scattered registration was how
+// the pre-PR-6 tree ended up with two transpose variants racing for one
+// name; funnelling every call through register.go files makes the
+// registry's contents auditable with a single glob.
+//
+// Test files are exempt (they register throwaway algorithms), as is the
+// alg package itself (MustRegister calls Register).
+var RegInitAnalyzer = &Analyzer{
+	Name: "reginit",
+	Doc:  "alg.Register/MustRegister may only be called from init() in register.go files",
+	Run:  runRegInit,
+}
+
+func runRegInit(p *Pass) {
+	if p.Pkg.Path() == "netoblivious/alg" {
+		return
+	}
+	for _, f := range p.Files {
+		name := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		inRegisterFile := name == "register.go"
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := registryCallee(p, call)
+			if callee == "" {
+				return true
+			}
+			if !inRegisterFile {
+				p.Reportf(call.Pos(), "alg.%s called from %s; algorithm registration belongs in a register.go file", callee, name)
+				return true
+			}
+			if !inInit(p, f, call) {
+				p.Reportf(call.Pos(), "alg.%s called outside init(); register algorithms at package initialization only", callee)
+			}
+			return true
+		})
+	}
+}
+
+// registryCallee returns "Register" or "MustRegister" when the call
+// resolves to netoblivious/alg's registration entry points, else "".
+func registryCallee(p *Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	f, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "netoblivious/alg" {
+		return ""
+	}
+	if f.Name() == "Register" || f.Name() == "MustRegister" {
+		return f.Name()
+	}
+	return ""
+}
+
+// inInit reports whether the node sits inside a top-level func init()
+// of file f.
+func inInit(p *Pass, f *ast.File, n ast.Node) bool {
+	for _, d := range f.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || fn.Recv != nil || fn.Name.Name != "init" {
+			continue
+		}
+		if fn.Body.Pos() <= n.Pos() && n.Pos() <= fn.Body.End() {
+			return true
+		}
+	}
+	return false
+}

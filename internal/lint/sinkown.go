@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SinkOwnAnalyzer enforces the TraceSink.WriteStep ownership-transfer
+// contract: once a StepRec has been handed to WriteStep, the caller
+// must not touch its reference-carrying parts again.  Streaming sinks
+// (the incremental codec, the ring sink) retain rec.Degree and
+// rec.Pairs past the call and may hand them to a flush goroutine; a
+// caller that keeps reading them races with that, and one that mutates
+// them corrupts the recorded trace.
+//
+// Because WriteStep takes the record by value, fields of basic type
+// (rec.Label, rec.Messages, rec.Superstep …) are the caller's own copy
+// and remain fair game — the analyzer only flags uses of the whole
+// record or of its reference fields (slices, pointers, maps) after the
+// call.  Reassigning the variable starts a fresh record and resets the
+// tracking.
+var SinkOwnAnalyzer = &Analyzer{
+	Name: "sinkown",
+	Doc:  "a StepRec passed to TraceSink.WriteStep must not have its reference fields used afterwards",
+	Run:  runSinkOwn,
+}
+
+func runSinkOwn(p *Pass) {
+	decls := funcDecls(p)
+	for _, fn := range decls {
+		checkSinkOwnership(p, fn)
+	}
+}
+
+// checkSinkOwnership walks one function body in source order, tracking
+// which StepRec variables have been surrendered to WriteStep.
+func checkSinkOwnership(p *Pass, fn *ast.FuncDecl) {
+	surrendered := map[types.Object]bool{}
+	// handoff marks the argument identifier of each WriteStep call, so
+	// the call that performs the transfer is not itself flagged.
+	handoff := map[*ast.Ident]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Reassignment of a tracked variable starts a new record.
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := p.Info.Defs[id]
+					if obj == nil {
+						obj = p.Info.Uses[id]
+					}
+					if obj != nil && surrendered[obj] {
+						delete(surrendered, obj)
+					}
+				}
+			}
+			// Still need to examine the RHS for uses; continue below.
+		case *ast.CallExpr:
+			if isWriteStepCall(p, n) && len(n.Args) >= 1 {
+				if id, ok := n.Args[0].(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						if surrendered[obj] {
+							p.Reportf(id.Pos(),
+								"%s passed to WriteStep again after an earlier handoff; its reference fields now belong to the first sink",
+								id.Name)
+						}
+						handoff[id] = true
+						surrendered[obj] = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if handoff[n] {
+				return true
+			}
+			obj := p.Info.Uses[n]
+			if obj == nil || !surrendered[obj] {
+				return true
+			}
+			if use, bad := postCallUse(p, fn, n); bad {
+				p.Reportf(n.Pos(),
+					"%s of %s after it was passed to WriteStep; the sink owns the record's reference fields from that point",
+					use, n.Name)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// isWriteStepCall matches method calls named WriteStep whose first
+// parameter is core.StepRec (the TraceSink contract, on the interface
+// or any concrete sink).
+func isWriteStepCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteStep" {
+		return false
+	}
+	f, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return false
+	}
+	return isNamedType(sig.Params().At(0).Type(), "netoblivious/internal/core", "StepRec")
+}
+
+// postCallUse classifies a use of a surrendered record.  Selecting a
+// basic-typed field is the caller reading its own by-value copy and is
+// allowed; everything else — whole-record use, reference-field access —
+// is an ownership violation.  The second result reports whether to flag.
+func postCallUse(p *Pass, fn *ast.FuncDecl, id *ast.Ident) (string, bool) {
+	parent := selectorParent(fn, id)
+	if parent == nil {
+		return "use", true // whole-record use (copy, pass, address-of)
+	}
+	selT := p.TypeOf(parent)
+	if selT == nil {
+		return "use", true
+	}
+	if _, basic := selT.Underlying().(*types.Basic); basic {
+		return "", false // scalar field: caller's own copy
+	}
+	return "use of reference field " + parent.Sel.Name, true
+}
+
+// selectorParent finds the SelectorExpr whose X is exactly id, if any.
+func selectorParent(fn *ast.FuncDecl, id *ast.Ident) *ast.SelectorExpr {
+	var out *ast.SelectorExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.X == id {
+			out = sel
+			return false
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,90 @@
+// Package ctxflow exercises the ctxflow analyzer: blocking loops in
+// //nob:ctxloop functions must consult a context.Context.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+)
+
+// Serve checks the context every iteration: compliant.
+//
+//nob:ctxloop
+func Serve(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// Spin receives forever and never looks at its context.
+//
+//nob:ctxloop
+func Spin(ctx context.Context, work chan int) {
+	for { // want "never consults a context"
+		<-work
+	}
+}
+
+// Sweep contains only a bounded counting loop: exempt.
+//
+//nob:ctxloop
+func Sweep(ctx context.Context, xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+
+type pool struct {
+	ctx context.Context
+}
+
+func (p *pool) cancelled() bool { return p.ctx.Err() != nil }
+
+// Drain consults the context transitively, through cancelled.
+//
+//nob:ctxloop
+func (p *pool) Drain(work chan int) {
+	for {
+		if p.cancelled() {
+			return
+		}
+		<-work
+	}
+}
+
+// Park waits on a condition variable with no cancellation path.
+//
+//nob:ctxloop
+func Park(mu *sync.Mutex, cond *sync.Cond, ready *bool) {
+	mu.Lock()
+	for !*ready { // want "never consults a context"
+		cond.Wait()
+	}
+	mu.Unlock()
+}
+
+// Handoff is the same shape with a documented exemption.
+//
+//nob:ctxloop
+func Handoff(cond *sync.Cond, done *bool) {
+	cond.L.Lock()
+	//nolint:ctxflow // released by a broadcaster that checks the context
+	for !*done {
+		cond.Wait()
+	}
+	cond.L.Unlock()
+}
+
+// Free is unannotated: nothing here is checked.
+func Free(work chan int) {
+	for {
+		<-work
+	}
+}

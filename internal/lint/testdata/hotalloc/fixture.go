@@ -1,0 +1,107 @@
+// Package hotalloc exercises the hotalloc analyzer: //nob:hotpath
+// functions may not call fmt, box interfaces, capture closures, or grow
+// appends unhinted inside loops.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func record(k string, v any) {}
+
+// route appends with a capacity hint: compliant.
+//
+//nob:hotpath
+func route(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, strconv.Itoa(x))
+	}
+	return out
+}
+
+// reuse reslices an existing buffer: also a valid hint.
+//
+//nob:hotpath
+func reuse(buf, xs []int) []int {
+	out := buf[:0]
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// gather grows an unhinted slice once per element.
+//
+//nob:hotpath
+func gather(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "without a capacity hint"
+	}
+	return out
+}
+
+// describe formats on the hot path.
+//
+//nob:hotpath
+func describe(x int) string {
+	return fmt.Sprintf("x=%d", x) // want "fmt.Sprintf"
+}
+
+// logInt boxes its int into record's any parameter.
+//
+//nob:hotpath
+func logInt(x int) {
+	record("x", x) // want "boxes"
+}
+
+// logPtr passes a pointer: it rides in the interface word, no box.
+//
+//nob:hotpath
+func logPtr(x *int) {
+	record("x", x)
+}
+
+// fields boxes into a composite literal with interface elements.
+//
+//nob:hotpath
+func fields(x int) []any {
+	return []any{x} // want "boxes"
+}
+
+// counter returns a closure capturing its parameter, forcing n to the
+// heap on every call.
+//
+//nob:hotpath
+func counter(n int) func() int {
+	return func() int { return n } // want "captures n"
+}
+
+// pure returns a self-contained closure: nothing escapes.
+//
+//nob:hotpath
+func pure() func() int {
+	return func() int { return 42 }
+}
+
+// guard panics on programmer error; the cold path is exempted.
+//
+//nob:hotpath
+func guard(x int) int {
+	if x < 0 {
+		//nolint:hotalloc // cold panic path may format
+		panic(fmt.Sprintf("negative: %d", x))
+	}
+	return x
+}
+
+// cold is unannotated: the allocation rules do not apply.
+func cold(xs []int) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%d", x))
+	}
+	return out
+}

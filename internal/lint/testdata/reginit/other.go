@@ -1,0 +1,14 @@
+package reginit
+
+import "netoblivious/alg"
+
+// sideload registers from the wrong file entirely — even from init().
+func init() {
+	alg.MustRegister(alg.Algorithm{Name: "fixture-side"}) // want "belongs in a register.go file"
+}
+
+// helper shows the documented escape hatch.
+func helper() {
+	//nolint:reginit // test helper: the registry is reset after each case
+	_ = alg.Register(alg.Algorithm{Name: "fixture-helper"})
+}

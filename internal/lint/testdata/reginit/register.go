@@ -1,0 +1,14 @@
+// Package reginit exercises the reginit analyzer: registry calls are
+// confined to init() functions in register.go files.
+package reginit
+
+import "netoblivious/alg"
+
+func init() {
+	alg.MustRegister(alg.Algorithm{Name: "fixture-ok"})
+}
+
+// LateRegister is in the right file but not in init().
+func LateRegister() {
+	_ = alg.Register(alg.Algorithm{Name: "fixture-late"}) // want "outside init"
+}

@@ -1,0 +1,49 @@
+// Package sinkown exercises the sinkown analyzer: a StepRec handed to
+// TraceSink.WriteStep surrenders its reference fields to the sink.
+package sinkown
+
+import "netoblivious/internal/core"
+
+// flush touches only a scalar field after the handoff: the record is
+// passed by value, so rec.Messages is the caller's own copy.
+func flush(sink core.TraceSink, rec core.StepRec) int64 {
+	_ = sink.WriteStep(rec)
+	return rec.Messages
+}
+
+// leak reads a slice field the sink now owns.
+func leak(sink core.TraceSink, rec core.StepRec) []int64 {
+	_ = sink.WriteStep(rec)
+	return rec.Degree // want "reference field Degree"
+}
+
+// spill hands the pairs to another goroutine's data structure.
+func spill(sink core.TraceSink, rec core.StepRec) *core.PairList {
+	_ = sink.WriteStep(rec)
+	return rec.Pairs // want "reference field Pairs"
+}
+
+// resend writes the same record into two sinks.
+func resend(a, b core.TraceSink, rec core.StepRec) {
+	_ = a.WriteStep(rec)
+	_ = b.WriteStep(rec) // want "passed to WriteStep again"
+}
+
+// rebuild reassigns after the handoff: the new record is untracked.
+func rebuild(sink core.TraceSink, rec core.StepRec) *core.PairList {
+	_ = sink.WriteStep(rec)
+	rec = core.StepRec{}
+	return rec.Pairs
+}
+
+// audit re-reads pairs under an explicit, justified exemption.
+func audit(sink core.TraceSink, rec core.StepRec) int {
+	_ = sink.WriteStep(rec)
+	//nolint:sinkown // the sink under test is synchronous and retains nothing
+	return rec.Pairs.Len()
+}
+
+// describe never hands the record off; everything is fair game.
+func describe(rec core.StepRec) (int, *core.PairList) {
+	return rec.Label, rec.Pairs
+}

@@ -95,6 +95,8 @@ func (s *Sim) putState(st *routeState) { s.states.Put(st) }
 // synchronous store-and-forward simulation to completion under
 // deterministic shortest-path routing.  Messages with src == dst are
 // delivered instantly.
+//
+//nob:deterministic
 func (s *Sim) Route(msgs [][2]int) RouteResult {
 	return s.RouteWith(ShortestPath(), msgs)
 }
@@ -104,6 +106,8 @@ func (s *Sim) Route(msgs [][2]int) RouteResult {
 // results on every run: packets are injected in message order and edges
 // always drain in ascending edge-id order — the (node, neighbor-index)
 // lexicographic order — with no dependence on scheduling or GOMAXPROCS.
+//
+//nob:deterministic
 func (s *Sim) RouteWith(r Router, msgs [][2]int) RouteResult {
 	for _, m := range msgs {
 		if m[0] < 0 || m[0] >= s.topo.P || m[1] < 0 || m[1] >= s.topo.P {
@@ -130,7 +134,10 @@ func (s *Sim) RouteWith(r Router, msgs [][2]int) RouteResult {
 
 // enqueue places pk, currently at node `at`, on an outgoing edge toward
 // its next hop: among the parallel edges of the (at → hop) link it picks
-// the shortest queue, breaking ties by lowest edge id.
+// the shortest queue, breaking ties by lowest edge id.  It runs once per
+// hop of every routed packet.
+//
+//nob:hotpath
 func (st *routeState) enqueue(s *Sim, at int32, pk Packet) {
 	hop := s.nextHop[at][pk.target()]
 	for _, g := range s.topo.links[at] {
@@ -150,6 +157,7 @@ func (st *routeState) enqueue(s *Sim, at int32, pk Packet) {
 		st.active[e>>6] |= 1 << uint(e&63)
 		return
 	}
+	//nolint:hotalloc // unreachable unless the routing table is corrupt; the cold panic path may format
 	panic(fmt.Sprintf("network: %s: no link %d->%d", s.topo.Name, at, hop))
 }
 
@@ -162,6 +170,11 @@ func settle(at int32, pk *Packet) (delivered bool) {
 	return pk.Dst == at
 }
 
+// run is the simulation's inner loop: inject, then drain active edges
+// superstep by superstep until every packet is home.  It reuses the
+// pooled state's buffers and must stay allocation-free per step.
+//
+//nob:hotpath
 func (st *routeState) run(s *Sim, r Router, msgs [][2]int) RouteResult {
 	res := RouteResult{}
 	inflight := 0

@@ -70,10 +70,14 @@ func L(name, value string) Label { return Label{Name: name, Value: value} }
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//nob:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be >= 0; negative deltas are ignored to keep the
 // counter monotone).
+//
+//nob:hotpath
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -88,9 +92,13 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set replaces the gauge value.
+//
+//nob:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta.
+//
+//nob:hotpath
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -114,6 +122,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//nob:hotpath
 func (h *Histogram) Observe(v float64) {
 	// Bucket counts are stored non-cumulatively and accumulated at
 	// snapshot time, so concurrent observers touch one counter each.
@@ -328,7 +338,11 @@ func FormatBound(b float64) string {
 
 // Snapshot captures every family.  Gauge callbacks run outside the
 // registry lock is not possible (they are read under it); callbacks must
-// therefore not call back into the registry.
+// therefore not call back into the registry.  The snapshot is fully
+// sorted (families by name, series by label key) so every renderer
+// downstream is deterministic for free.
+//
+//nob:deterministic
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()

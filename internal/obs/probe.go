@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -18,6 +19,8 @@ import (
 // A probe is bounded: once the event buffer is full, further events are
 // counted in Dropped() and discarded rather than growing without limit,
 // so a long-lived daemon can keep a probe attached.
+//
+//nob:nilsafe
 type Probe struct {
 	epoch time.Time
 
@@ -175,6 +178,11 @@ type chromeTrace struct {
 
 // WriteChromeTrace writes the recorded events as Chrome trace-event
 // JSON.  The probe remains usable (and keeps its events) afterwards.
+// The output is byte-deterministic for a given event sequence: thread
+// metadata is emitted in ascending tid order, not map order, so two
+// exports of the same run diff clean.
+//
+//nob:deterministic
 func (p *Probe) WriteChromeTrace(w io.Writer) error {
 	if p == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
@@ -186,10 +194,15 @@ func (p *Probe) WriteChromeTrace(w io.Writer) error {
 		Name: "process_name", Ph: "M", PID: 1,
 		Args: map[string]any{"name": "netoblivious"},
 	})
-	for tid, name := range p.threads {
+	tids := make([]int, 0, len(p.threads))
+	for tid := range p.threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
 		events = append(events, probeEvent{
 			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
-			Args: map[string]any{"name": name},
+			Args: map[string]any{"name": p.threads[tid]},
 		})
 	}
 	events = append(events, p.events...)

@@ -74,7 +74,11 @@ func formatValue(v float64) string {
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition
 // format: # HELP / # TYPE headers, cumulative _bucket{le=...} samples
-// ending in +Inf, and _sum/_count for histograms.
+// ending in +Inf, and _sum/_count for histograms.  Output order is the
+// snapshot's (already name/label-sorted), never map order — scrape
+// diffs and the golden tests depend on that.
+//
+//nob:deterministic
 func WritePrometheus(w io.Writer, snap Snapshot) error {
 	for _, f := range snap.Families {
 		if f.Help != "" {

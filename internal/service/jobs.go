@@ -319,6 +319,10 @@ var errJobCancelled = errors.New("job cancelled by client")
 
 // worker is the job execution loop: pop by priority, run the analysis
 // under a per-job timeout, publish the outcome, feed the result cache.
+// Each iteration runs the job under a context derived from the server's
+// base context, so Shutdown and DELETE /jobs/{id} can stop it.
+//
+//nob:ctxloop
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {

@@ -206,6 +206,8 @@ func labelValue(ss obs.SeriesSnapshot, name string) string {
 // metricsSnapshot derives the JSON wire form from one obs-registry
 // snapshot, so the JSON and Prometheus-text renderings of a single
 // /metrics request describe the same instant.
+//
+//nob:deterministic
 func (s *Server) metricsSnapshot(osnap obs.Snapshot) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		Schema:     MetricsSchema,
@@ -250,6 +252,8 @@ func (s *Server) metricsSnapshot(osnap obs.Snapshot) MetricsSnapshot {
 // handleMetrics renders the counters: Prometheus-style text by default,
 // the MetricsSnapshot JSON with ?format=json.  Both renderings derive
 // from the same registry snapshot.
+//
+//nob:deterministic
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	osnap := s.metrics.reg.Snapshot()
 	if r.URL.Query().Get("format") == "json" {
