@@ -165,6 +165,7 @@ func main() {
 //	nobl remote analyze <alg> [-addr URL] [-n N] [-kind K] [-p P] [-sigma S] [-wait] [-priority P]
 //	nobl remote job <id> [-addr URL] [-cancel]
 //	nobl remote metrics [-addr URL]
+//	nobl remote cluster [-addr URL] [-key K]
 //
 // Documents come back in the same schema `nobl -format json run` emits
 // and are rendered through the same sinks (-format applies).
@@ -181,6 +182,7 @@ func runRemote(f harness.Format, args []string) int {
 	wait := fs.Bool("wait", true, "block until asynchronous analyses complete")
 	priority := fs.Int("priority", 0, "job priority (higher runs first)")
 	cancel := fs.Bool("cancel", false, "with 'job': cancel instead of show")
+	key := fs.String("key", "", "with 'cluster': look up which node owns this cache key")
 	sub, rest := splitName(args)
 	name := ""
 	if sub == "analyze" || sub == "job" {
@@ -290,8 +292,39 @@ func runRemote(f harness.Format, args []string) int {
 		if err := enc.Encode(snap); err != nil {
 			return fail(err)
 		}
+	case "cluster":
+		view, err := client.Cluster(ctx, *key)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("mode: %s (engine %s)\n", view.Mode, view.Engine)
+		if view.Mode != "single" {
+			fmt.Printf("ring: %d members, %d vnodes, seed %d\n", len(view.Members), view.VNodes, view.Seed)
+			for _, p := range view.Peers {
+				mark, state := " ", "down"
+				if p.Self {
+					mark = "*"
+				}
+				if p.Healthy {
+					state = "up"
+				}
+				line := fmt.Sprintf("%s %-28s %-4s checks=%d", mark, p.Addr, state, p.Checks)
+				if p.Error != "" {
+					line += " error=" + p.Error
+				}
+				fmt.Println(line)
+			}
+		}
+		if view.Ownership != nil {
+			o := view.Ownership
+			where := o.Owner
+			if o.Local {
+				where += " (local)"
+			}
+			fmt.Printf("key %s -> %s\n", o.RouteKey, where)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "nobl remote: need one of algorithms|analyze|job|metrics")
+		fmt.Fprintln(os.Stderr, "nobl remote: need one of algorithms|analyze|job|metrics|cluster")
 		return 2
 	}
 	return 0
@@ -1083,10 +1116,12 @@ usage:
   nobl benchobs [-size 14] [-reps R] [-o file]
               measure the probe plumbing's overhead on the block engine
               (no probe vs nil probe vs live probe), as a JSON report
-  nobl remote <algorithms|analyze|job|metrics> [-addr URL] ...
+  nobl remote <algorithms|analyze|job|metrics|cluster> [-addr URL] ...
               target a shared nobld daemon instead of computing locally
               (analyze <alg> [-n N] [-kind K] [-p P] [-sigma σ] [-wait]
-               [-topology T] [-strategy S] [-seed X] for kind network)
+               [-topology T] [-strategy S] [-seed X] for kind network;
+               cluster [-key K] shows membership, peer health and which
+               node owns a cache key)
 
 flags:
   -quick      reduced problem sizes

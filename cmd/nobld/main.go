@@ -16,6 +16,8 @@
 //	                            topology families + routing strategies a
 //	                            kind "network" request may select (its
 //	                            topology/strategy/seed fields)
+//	GET    /v1/cluster          cluster membership, per-peer health,
+//	                            ?key= ownership lookup
 //	GET    /metrics             counters (Prometheus text; ?format=json)
 //	GET    /healthz             liveness + build/runtime identity
 //
@@ -29,6 +31,40 @@
 // The -engine flag sets the server-wide default execution engine; any
 // registered engine name is accepted (GET /v1/algorithms lists them) and
 // a request may override it per call through its "engine" field.
+//
+// # Cluster mode
+//
+// With -peers, the daemon becomes one node of a sharded fleet:
+//
+//	nobld -addr :7421 -self http://hostA:7421 \
+//	      -peers http://hostA:7421,http://hostB:7422,http://hostC:7423
+//
+// The request key space is partitioned across the peers by a seeded
+// consistent-hash ring, and the routing is oblivious in the paper's
+// sense: which node owns a request depends only on the request key and
+// the static (seed, vnodes, peers) configuration — never on load,
+// history or a coordinator — so every node computes the same placement
+// independently, the way a network-oblivious algorithm commits to its
+// communication pattern without knowing the machine.  Any node accepts
+// any request; non-owned keys are transparently forwarded to the owning
+// shard (one hop, loop-free), concurrent forwards of one key coalesce,
+// and completed documents are kept as a bounded local replica
+// (-replica-entries) so hot entries stop costing a network hop.  Every
+// trace is computed exactly once cluster-wide.  Forwarded requests are
+// answered synchronously with the document itself; job IDs remain
+// node-local and never leak across nodes.  -ring-seed and -ring-vnodes
+// must match across the fleet.
+//
+// With -route the daemon is instead a stateless router — no caches, no
+// workers used, every asynchronous request forwarded to its owner:
+//
+//	nobld -addr :7420 -route -peers http://hostA:7421,http://hostB:7422
+//
+// Admission control: -admit-queue sheds enqueues beyond the high-water
+// mark with HTTP 429 and a Retry-After derived from observed queue
+// waits (the hard -queue bound still answers 503); -max-forwards bounds
+// concurrent in-flight forwards the same way.  The bundled
+// service.Client honors Retry-After with capped exponential backoff.
 //
 // Observability: every request is assigned (or inherits, via the
 // X-Request-ID header) a correlation ID that appears on the response,
@@ -77,6 +113,15 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log format: text|json")
 	logSample := flag.Int("log-sample", 1, "emit one access-log line per N requests")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster node (empty = single-node)")
+	self := flag.String("self", "", "this node's advertised base URL; must be one of -peers")
+	route := flag.Bool("route", false, "stateless router mode: own no shard, forward everything to -peers")
+	ringVNodes := flag.Int("ring-vnodes", 0, "virtual nodes per ring member (0 = default; must match across the fleet)")
+	ringSeed := flag.Uint64("ring-seed", 0, "consistent-hash placement seed (must match across the fleet)")
+	replicaEntries := flag.Int("replica-entries", 0, "read-through replica cache capacity (0 = default 256, -1 = disabled)")
+	maxForwards := flag.Int("max-forwards", 0, "max concurrent in-flight forwards before shedding 429 (0 = default 256)")
+	admitQueue := flag.Int("admit-queue", 0, "queue-depth high-water mark: shed enqueues beyond it with 429 + Retry-After (0 = disabled)")
+	healthInterval := flag.Duration("health-interval", 0, "peer health probe cadence (0 = default 2s)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -89,7 +134,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nobld: %v\n", err)
 		os.Exit(2)
 	}
-	srv, err := service.New(service.Config{
+	cfg := service.Config{
 		Workers:        *workers,
 		QueueLimit:     *queue,
 		CacheEntries:   *cacheEntries,
@@ -100,7 +145,21 @@ func main() {
 		Engine:         engine,
 		Logger:         logger,
 		LogSample:      *logSample,
-	})
+		AdmitQueueHigh: *admitQueue,
+	}
+	if *peers != "" || *route {
+		cfg.Cluster = &service.ClusterConfig{
+			Self:           *self,
+			Peers:          strings.Split(*peers, ","),
+			RouteOnly:      *route,
+			VNodes:         *ringVNodes,
+			Seed:           *ringSeed,
+			ReplicaEntries: *replicaEntries,
+			MaxForwards:    *maxForwards,
+			HealthInterval: *healthInterval,
+		}
+	}
+	srv, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nobld: %v\n", err)
 		os.Exit(1)
@@ -132,12 +191,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	mode := "single"
+	switch {
+	case *route:
+		mode = "router"
+	case *peers != "":
+		mode = "node"
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Info("nobld listening",
 			"addr", *addr,
 			"version", obs.BuildVersion(),
 			"engine", engine.Name(),
+			"mode", mode,
 			"workers", *workers,
 			"cache", *cacheEntries,
 			"traces", *traceEntries,

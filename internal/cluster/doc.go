@@ -1,0 +1,33 @@
+// Package cluster provides the shared static view that turns a fleet of
+// nobld daemons into one horizontally scalable analysis service: a
+// seeded consistent-hash ring assigning every cache key an owning node,
+// and a peer health tracker reporting fleet liveness.
+//
+// The design is deliberately oblivious, in the routing sense of the
+// source paper and of compact oblivious routing (Räcke & Schmid): the
+// path of a request depends only on the request's key and a small,
+// static, globally shared view — the ring (seed, virtual-node count,
+// member list) — never on the current load, on per-request global
+// state, or on a central coordinator.  Every node evaluates the same
+// pure function Owner(key) over the same view and therefore agrees on
+// placement without communicating; the only shared state is the
+// configuration itself.  This is what makes the fleet cheap to front
+// with stateless routers and safe to reason about: a key's owner is a
+// deterministic function of the deployment, so "computed exactly once
+// cluster-wide" reduces to "computed exactly once on the owner", which
+// the owner's local single-flight store already guarantees.
+//
+// The ring uses virtual nodes (default 64 per member) hashed with a
+// seeded FNV-1a so that placement is deterministic across processes,
+// architectures and Go versions, balanced across members, and stable
+// under membership growth: adding a member remaps only the keys that
+// move to it (the classic consistent-hashing property, verified by the
+// package tests).
+//
+// Health tracking is advisory: membership is static configuration, so a
+// failing peer is reported (GET /v1/cluster) but never removed from the
+// ring — re-routing around failures would re-introduce exactly the
+// load-dependent, view-divergent behavior obliviousness exists to
+// avoid.  Requests owned by a down node fail fast and are retried by
+// clients with capped backoff.
+package cluster

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultHealthInterval is the peer probe cadence when the caller does
+// not choose one.
+const DefaultHealthInterval = 2 * time.Second
+
+// CheckFunc probes one peer; a nil error means healthy.  The context
+// carries the per-probe timeout.
+type CheckFunc func(ctx context.Context, addr string) error
+
+// PeerStatus is the tracked health of one peer at a point in time.
+type PeerStatus struct {
+	// Addr is the peer's advertised base URL.
+	Addr string
+	// Healthy reports the outcome of the most recent probe.
+	Healthy bool
+	// LastSeen is the time of the last successful probe (zero = never).
+	LastSeen time.Time
+	// LastErr is the most recent probe failure message ("" when the last
+	// probe succeeded).
+	LastErr string
+	// Checks counts completed probes.
+	Checks uint64
+}
+
+// Tracker periodically probes a static peer list and serves point-in-
+// time status snapshots.  Health is advisory — it never changes ring
+// membership — so the tracker is deliberately simple: one goroutine,
+// one probe fan-out per tick, last-writer-wins state per peer.
+type Tracker struct {
+	interval time.Duration
+	check    CheckFunc
+	peers    []string // sorted order fixed at construction
+
+	mu     sync.Mutex
+	status map[string]*PeerStatus
+}
+
+// NewTracker builds a tracker over peers (probed every interval; <= 0
+// means DefaultHealthInterval).  Peers start unhealthy until their
+// first successful probe.
+func NewTracker(peers []string, interval time.Duration, check CheckFunc) *Tracker {
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	t := &Tracker{
+		interval: interval,
+		check:    check,
+		peers:    append([]string(nil), peers...),
+		status:   make(map[string]*PeerStatus, len(peers)),
+	}
+	sort.Strings(t.peers)
+	for _, p := range t.peers {
+		t.status[p] = &PeerStatus{Addr: p}
+	}
+	return t
+}
+
+// Run probes every peer once immediately, then on every tick, until ctx
+// is cancelled.  It is the peer-lifecycle loop of a cluster node; the
+// server cancels ctx on shutdown.
+//
+//nob:ctxloop
+func (t *Tracker) Run(ctx context.Context) {
+	if len(t.peers) == 0 {
+		return
+	}
+	t.sweep(ctx)
+	ticker := time.NewTicker(t.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			t.sweep(ctx)
+		}
+	}
+}
+
+// sweep probes every peer concurrently, bounding each probe to half the
+// tick so one hung peer cannot smear its stall into the next sweep.
+func (t *Tracker) sweep(ctx context.Context) {
+	probeCtx, cancel := context.WithTimeout(ctx, t.interval/2)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, addr := range t.peers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			err := t.check(probeCtx, addr)
+			now := time.Now()
+			t.mu.Lock()
+			st := t.status[addr]
+			st.Checks++
+			if err != nil {
+				st.Healthy = false
+				st.LastErr = err.Error()
+			} else {
+				st.Healthy = true
+				st.LastErr = ""
+				st.LastSeen = now
+			}
+			t.mu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// Status returns a snapshot of every peer, sorted by address (the fixed
+// construction order).
+func (t *Tracker) Status() []PeerStatus {
+	out := make([]PeerStatus, 0, len(t.peers))
+	t.mu.Lock()
+	for _, addr := range t.peers {
+		out = append(out, *t.status[addr])
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Healthy counts the peers whose most recent probe succeeded.
+func (t *Tracker) Healthy() int {
+	n := 0
+	t.mu.Lock()
+	for _, addr := range t.peers {
+		if t.status[addr].Healthy {
+			n++
+		}
+	}
+	t.mu.Unlock()
+	return n
+}

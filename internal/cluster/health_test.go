@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTrackerSweepAndStatus: peers start unhealthy, a sweep flips the
+// reachable ones, and a later failure flips back with the error kept.
+func TestTrackerSweepAndStatus(t *testing.T) {
+	var mu sync.Mutex
+	down := map[string]bool{"http://b:1": true}
+	check := func(ctx context.Context, addr string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if down[addr] {
+			return errors.New("connection refused")
+		}
+		return nil
+	}
+	tr := NewTracker([]string{"http://b:1", "http://a:1"}, time.Second, check)
+	for _, st := range tr.Status() {
+		if st.Healthy || st.Checks != 0 {
+			t.Fatalf("peer %s healthy before any probe", st.Addr)
+		}
+	}
+	tr.sweep(context.Background())
+	sts := tr.Status()
+	if len(sts) != 2 || sts[0].Addr != "http://a:1" {
+		t.Fatalf("status not sorted by addr: %+v", sts)
+	}
+	if !sts[0].Healthy || sts[0].LastSeen.IsZero() {
+		t.Errorf("reachable peer not healthy: %+v", sts[0])
+	}
+	if sts[1].Healthy || sts[1].LastErr == "" {
+		t.Errorf("down peer reported healthy: %+v", sts[1])
+	}
+	if tr.Healthy() != 1 {
+		t.Errorf("Healthy() = %d, want 1", tr.Healthy())
+	}
+	// Recovery: the peer comes back, the next sweep notices.
+	mu.Lock()
+	down["http://b:1"] = false
+	mu.Unlock()
+	tr.sweep(context.Background())
+	if tr.Healthy() != 2 {
+		t.Errorf("Healthy() after recovery = %d, want 2", tr.Healthy())
+	}
+	for _, st := range tr.Status() {
+		if st.LastErr != "" {
+			t.Errorf("recovered peer keeps stale error: %+v", st)
+		}
+	}
+}
+
+// TestTrackerRunStopsOnCancel: Run exits promptly when its context is
+// cancelled — the server's shutdown path.
+func TestTrackerRunStopsOnCancel(t *testing.T) {
+	tr := NewTracker([]string{"http://a:1"}, 10*time.Millisecond,
+		func(ctx context.Context, addr string) error { return nil })
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		tr.Run(ctx)
+		close(done)
+	}()
+	// Let at least one periodic sweep land, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Status()[0].Checks < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not exit after cancel")
+	}
+	if tr.Status()[0].Checks < 2 {
+		t.Errorf("tracker swept %d times, want >= 2", tr.Status()[0].Checks)
+	}
+}
+
+// TestTrackerNoPeers: a tracker over no peers returns immediately.
+func TestTrackerNoPeers(t *testing.T) {
+	tr := NewTracker(nil, time.Millisecond, func(ctx context.Context, addr string) error { return nil })
+	done := make(chan struct{})
+	go func() {
+		tr.Run(context.Background())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run with no peers did not return")
+	}
+	if len(tr.Status()) != 0 {
+		t.Error("empty tracker reports peers")
+	}
+}

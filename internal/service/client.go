@@ -8,18 +8,41 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"netoblivious/internal/cluster"
 )
 
 // Client is a typed HTTP client for a nobld daemon, used by the
-// `nobl remote` mode and the examples/service-client demo.  The zero
-// HTTPClient means http.DefaultClient.
+// `nobl remote` mode, the cluster forwarding tier and the
+// examples/service-client demo.  The zero value (plus BaseURL) is
+// usable: requests go through http.DefaultClient and shed (429)
+// responses are retried transparently with capped exponential backoff,
+// honoring the server's Retry-After.
 type Client struct {
 	// BaseURL is the daemon address, e.g. "http://127.0.0.1:7413".
 	BaseURL string
 	// HTTPClient overrides the transport (httptest servers, timeouts).
 	HTTPClient *http.Client
+	// MaxRetries bounds the transparent retries of 429 (shed) responses:
+	// 0 means the default (4), negative disables retrying.  Retries stop
+	// early when the request context expires — the deadline always wins.
+	MaxRetries int
+	// RetryBase is the first backoff delay (default 250ms); subsequent
+	// attempts double it.  A server Retry-After overrides the computed
+	// delay.  Every delay is capped by RetryMax (default 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// OnRetry, when non-nil, observes each retry before its backoff
+	// sleep: the HTTP status that triggered it and the chosen delay.
+	OnRetry func(status int, wait time.Duration)
+	// Header carries extra headers applied to every request (request-ID
+	// propagation, the cluster forwarding marker).
+	Header http.Header
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -34,42 +57,131 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// doJSON performs one request and decodes the JSON response into out.
-// Non-2xx responses are surfaced as errors carrying the server's error
-// message.
-func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+func (c *Client) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.RetryBase
+}
+
+func (c *Client) retryMax() time.Duration {
+	if c.RetryMax <= 0 {
+		return 5 * time.Second
+	}
+	return c.RetryMax
+}
+
+// backoffDelay picks the sleep before retry attempt (0-based): the
+// server's Retry-After when it sent one, capped exponential backoff
+// from RetryBase otherwise.
+func (c *Client) backoffDelay(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.retryBase() << uint(attempt)
+	if retryAfter > 0 {
+		d = retryAfter
+	}
+	if max := c.retryMax(); d > max {
+		d = max
+	}
+	return d
+}
+
+// retryAfterOf parses a Retry-After header carrying delay seconds.
+func retryAfterOf(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// do performs one request (no retries) and returns the response with
+// its body fully read.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, []byte, error) {
 	var rd io.Reader
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("service client: encoding request: %w", err)
-		}
-		rd = bytes.NewReader(data)
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return fmt.Errorf("service client: %w", err)
+		return nil, nil, fmt.Errorf("service client: %w", err)
+	}
+	for name, vals := range c.Header {
+		for _, v := range vals {
+			req.Header.Add(name, v)
+		}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return fmt.Errorf("service client: %s %s: %w", method, path, err)
+		return nil, nil, fmt.Errorf("service client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return fmt.Errorf("service client: reading %s: %w", path, err)
+		return nil, nil, fmt.Errorf("service client: reading %s: %w", path, err)
+	}
+	return resp, data, nil
+}
+
+// doJSON performs one request and decodes the JSON response into out,
+// transparently retrying shed (429) responses with capped exponential
+// backoff that honors the server's Retry-After.  Non-2xx responses are
+// surfaced as errors carrying the server's error message.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var data []byte
+	if body != nil {
+		var err error
+		data, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("service client: encoding request: %w", err)
+		}
+	}
+	var resp *http.Response
+	var respBody []byte
+	for attempt := 0; ; attempt++ {
+		var err error
+		resp, respBody, err = c.do(ctx, method, path, data)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= c.maxRetries() {
+			break
+		}
+		wait := c.backoffDelay(attempt, retryAfterOf(resp))
+		if c.OnRetry != nil {
+			c.OnRetry(resp.StatusCode, wait)
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("service client: %s %s: shed by server, retry abandoned: %w", method, path, ctx.Err())
+		case <-timer.C:
+		}
 	}
 	if resp.StatusCode >= 400 {
 		var apiErr apiError
-		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+		if json.Unmarshal(respBody, &apiErr) == nil && apiErr.Error != "" {
 			return fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
 		}
 		// Analyze endpoints carry failures inside the Response body.
 		var r Response
-		if json.Unmarshal(data, &r) == nil && r.Error != "" {
+		if json.Unmarshal(respBody, &r) == nil && r.Error != "" {
 			return fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, r.Error, resp.StatusCode)
 		}
 		return fmt.Errorf("service client: %s %s: HTTP %d", method, path, resp.StatusCode)
@@ -77,10 +189,39 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out any)
 	if out == nil {
 		return nil
 	}
-	if err := json.Unmarshal(data, out); err != nil {
+	if err := json.Unmarshal(respBody, out); err != nil {
 		return fmt.Errorf("service client: decoding %s: %w", path, err)
 	}
 	return nil
+}
+
+// postAnalyzeOnce submits one analyze request with no retries and no
+// error mapping: the raw Response body, the HTTP status, and the
+// Retry-After delay (seconds, 0 when absent).  The cluster forwarding
+// tier uses it to relay an owner's verdict — including sheds — to the
+// originating client unchanged.
+func (c *Client) postAnalyzeOnce(ctx context.Context, req Request) (Response, int, int, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, 0, 0, fmt.Errorf("service client: encoding request: %w", err)
+	}
+	resp, body, err := c.do(ctx, http.MethodPost, "/v1/analyze", data)
+	if err != nil {
+		return Response{}, 0, 0, err
+	}
+	retryAfter := int(retryAfterOf(resp) / time.Second)
+	var out Response
+	if jsonErr := json.Unmarshal(body, &out); jsonErr != nil || out.Schema == "" {
+		// A non-Response body (decode-level apiError, proxy page, ...):
+		// synthesize a failed Response so the caller has one shape.
+		var apiErr apiError
+		msg := fmt.Sprintf("HTTP %d from %s", resp.StatusCode, c.BaseURL)
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		out = Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: msg}
+	}
+	return out, resp.StatusCode, retryAfter, nil
 }
 
 // Health checks the daemon's liveness.
@@ -95,6 +236,19 @@ func (c *Client) Algorithms(ctx context.Context) (AlgorithmsResponse, error) {
 	return out, err
 }
 
+// Cluster fetches the daemon's cluster view: mode, ring parameters,
+// membership and per-peer health.  With a non-empty key, the response
+// also carries the key's ownership lookup.
+func (c *Client) Cluster(ctx context.Context, key string) (ClusterResponse, error) {
+	path := "/v1/cluster"
+	if key != "" {
+		path += "?key=" + url.QueryEscape(key)
+	}
+	var out ClusterResponse
+	err := c.doJSON(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
 // Analyze submits one analysis request.  With req.Wait set, the call
 // blocks until the document is ready; otherwise asynchronous kinds
 // return a job reference in Response.JobID.
@@ -104,13 +258,86 @@ func (c *Client) Analyze(ctx context.Context, req Request) (Response, error) {
 	return out, err
 }
 
-// AnalyzeBatch submits several requests in one call.
+// AnalyzeBatch submits several requests in one call.  Per-item failures
+// (a bad size among good requests, a shed item on a saturated shard)
+// appear in the matching Response — its Status, Error and Code fields —
+// while the call itself succeeds: batches partially succeed per item.
 func (c *Client) AnalyzeBatch(ctx context.Context, reqs []Request) ([]Response, error) {
 	var out BatchResponse
 	if err := c.doJSON(ctx, http.MethodPost, "/v1/analyze/batch", BatchRequest{Requests: reqs}, &out); err != nil {
 		return nil, err
 	}
 	return out.Responses, nil
+}
+
+// AnalyzeBatchRouted splits a batch by shard ownership and sends each
+// owner its items directly, in parallel, bypassing the server-side
+// forwarding hop.  The ring view comes from GET /v1/cluster; when the
+// daemon is not clustered (or the view is unavailable) the whole batch
+// falls back to a single AnalyzeBatch through BaseURL.  Item order is
+// preserved.  Requests with no explicit engine are pinned to the
+// cluster's advertised engine, since the engine is part of the routed
+// key.
+func (c *Client) AnalyzeBatchRouted(ctx context.Context, reqs []Request) ([]Response, error) {
+	view, err := c.Cluster(ctx, "")
+	if err != nil || len(view.Members) < 2 {
+		return c.AnalyzeBatch(ctx, reqs)
+	}
+	ring, err := cluster.New(view.Seed, view.VNodes, view.Members)
+	if err != nil {
+		return c.AnalyzeBatch(ctx, reqs)
+	}
+	out := make([]Response, len(reqs))
+	groups := map[string][]int{}
+	routed := make([]Request, len(reqs))
+	for i, req := range reqs {
+		rq := req
+		if err := rq.normalize(); err != nil {
+			out[i] = Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: err.Error(), Code: http.StatusBadRequest}
+			continue
+		}
+		if rq.Engine == "" {
+			rq.Engine = view.Engine
+		}
+		routed[i] = rq
+		owner := ring.Owner(routeKey(rq, rq.Engine))
+		groups[owner] = append(groups[owner], i)
+	}
+	var wg sync.WaitGroup
+	for owner, idxs := range groups {
+		wg.Add(1)
+		go func(owner string, idxs []int) {
+			defer wg.Done()
+			sub := make([]Request, len(idxs))
+			for i, idx := range idxs {
+				sub[i] = routed[idx]
+			}
+			sc := c
+			if owner != c.BaseURL {
+				sc = &Client{
+					BaseURL:    owner,
+					HTTPClient: c.HTTPClient,
+					MaxRetries: c.MaxRetries,
+					RetryBase:  c.RetryBase,
+					RetryMax:   c.RetryMax,
+					OnRetry:    c.OnRetry,
+					Header:     c.Header,
+				}
+			}
+			resps, err := sc.AnalyzeBatch(ctx, sub)
+			for i, idx := range idxs {
+				switch {
+				case err != nil:
+					out[idx] = Response{Schema: ResponseSchema, Status: string(StatusFailed),
+						Error: fmt.Sprintf("shard %s: %v", owner, err), Code: http.StatusBadGateway}
+				case i < len(resps):
+					out[idx] = resps[i]
+				}
+			}
+		}(owner, idxs)
+	}
+	wg.Wait()
+	return out, nil
 }
 
 // Job fetches a job's status, event log and (when terminal) response.

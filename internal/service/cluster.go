@@ -1,0 +1,425 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"netoblivious/internal/cluster"
+	"netoblivious/internal/core"
+	"netoblivious/internal/obs"
+)
+
+// ClusterConfig turns a Server into one node of a nobld fleet (or a
+// cacheless router in front of one).  Placement is oblivious in the
+// paper's sense: which node answers a request depends only on the
+// request key and this static configuration — never on load, history
+// or any coordinator — so every node (and every routing client)
+// computes the same owner independently.
+type ClusterConfig struct {
+	// Self is this node's advertised base URL; it must appear in Peers
+	// unless RouteOnly is set.  Ignored (may be empty) for routers.
+	Self string
+	// Peers is the full static membership: every cache-owning node's
+	// base URL, including this one.  All nodes of a fleet must be
+	// configured with the same set (order does not matter).
+	Peers []string
+	// RouteOnly makes the server a stateless router: it owns no shard,
+	// keeps no caches, and forwards every asynchronous request to the
+	// owning peer.
+	RouteOnly bool
+	// VNodes is the virtual-node count per member; 0 means
+	// cluster.DefaultVNodes.  Must match across the fleet.
+	VNodes int
+	// Seed seeds the ring's placement hash.  Must match across the fleet.
+	Seed uint64
+	// ReplicaEntries bounds the hot-entry read-through replica cache a
+	// forwarding node keeps (completed documents fetched from owners);
+	// 0 means 256, negative disables replication.  Routers never keep
+	// replicas.
+	ReplicaEntries int
+	// MaxForwards bounds concurrent in-flight forwards per node; excess
+	// forwards are shed with 429.  0 means 256.
+	MaxForwards int
+	// HealthInterval is the peer-probe cadence; 0 means
+	// cluster.DefaultHealthInterval.
+	HealthInterval time.Duration
+}
+
+// headerForwarded marks a request as already forwarded once.  A node
+// receiving it answers locally no matter what its ring says — with a
+// consistent fleet configuration the ring says "local" anyway, and with
+// an inconsistent one this bound keeps disagreement from becoming a
+// forwarding loop.
+const headerForwarded = "X-Nobld-Forwarded"
+
+// routeKey is the cluster-wide canonical identity of a request: its
+// semantic cache key plus the engine that will execute it.  The entry
+// node pins the engine before routing, so every node derives the same
+// key — the invariant that makes each trace computed exactly once
+// cluster-wide.
+func routeKey(req Request, engine string) string {
+	return req.Key() + "@" + engine
+}
+
+// forwardOutcome is a memoized forwarded verdict: the owner's response
+// body and HTTP status.  Only completed documents stay memoized
+// (read-through replication); everything else is forgotten right after
+// delivery.
+type forwardOutcome struct {
+	resp   Response
+	status int
+}
+
+// clusterState is the per-server cluster runtime: the ring, the peer
+// clients, the health tracker, the replica cache and the forward gate.
+// All fields are set at construction; only the atomics mutate.
+type clusterState struct {
+	self      string
+	routeOnly bool
+	ring      *cluster.Ring
+	replicas  *core.Store[forwardOutcome] // nil for routers and ReplicaEntries < 0
+	tracker   *cluster.Tracker
+	clients   map[string]*Client // ring member -> forwarding client
+	seed      uint64
+
+	inFlight       atomic.Int64
+	maxInFlight    int64
+	forwardTimeout time.Duration
+	baseCtx        context.Context
+	metrics        *metrics
+	logger         *slog.Logger
+}
+
+// newClusterState validates the cluster configuration and builds the
+// runtime.  It returns (nil, nil) for an empty non-router peer list:
+// that is plain single-node operation.
+func newClusterState(s *Server, cc ClusterConfig) (*clusterState, error) {
+	peers := cluster.NormalizeAddrs(cc.Peers)
+	self := cluster.NormalizeAddr(cc.Self)
+	if len(peers) == 0 {
+		if cc.RouteOnly {
+			return nil, fmt.Errorf("service: router mode needs a peer list")
+		}
+		return nil, nil
+	}
+	ring, err := cluster.New(cc.Seed, cc.VNodes, peers)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if !cc.RouteOnly && !ring.Contains(self) {
+		return nil, fmt.Errorf("service: self %q is not one of the peers %v", self, ring.Members())
+	}
+	maxForwards := int64(cc.MaxForwards)
+	if maxForwards <= 0 {
+		maxForwards = 256
+	}
+	cs := &clusterState{
+		self:           self,
+		routeOnly:      cc.RouteOnly,
+		ring:           ring,
+		seed:           cc.Seed,
+		maxInFlight:    maxForwards,
+		forwardTimeout: s.cfg.JobTimeout + 30*time.Second,
+		baseCtx:        s.baseCtx,
+		metrics:        s.metrics,
+		logger:         s.logger,
+	}
+	if !cc.RouteOnly && cc.ReplicaEntries >= 0 {
+		entries := cc.ReplicaEntries
+		if entries == 0 {
+			entries = 256
+		}
+		cs.replicas = core.NewBoundedStore[forwardOutcome](entries)
+	}
+	probeClient := &http.Client{Timeout: 5 * time.Second}
+	check := func(ctx context.Context, addr string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := probeClient.Do(req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+		}
+		return nil
+	}
+	var tracked []string
+	cs.clients = make(map[string]*Client, ring.Size())
+	for _, m := range ring.Members() {
+		if m == self {
+			continue
+		}
+		tracked = append(tracked, m)
+		hdr := http.Header{}
+		hdr.Set(headerForwarded, "1")
+		cs.clients[m] = &Client{
+			BaseURL:    m,
+			HTTPClient: &http.Client{Timeout: cs.forwardTimeout},
+			MaxRetries: -1, // the owner's shed verdict is relayed, not retried
+			Header:     hdr,
+		}
+	}
+	cs.tracker = cluster.NewTracker(tracked, cc.HealthInterval, check)
+	return cs, nil
+}
+
+// mode names the server's cluster role for /v1/cluster and metrics.
+func (c *clusterState) mode() string {
+	if c == nil {
+		return "single"
+	}
+	if c.routeOnly {
+		return "router"
+	}
+	return "node"
+}
+
+// routeOf decides a normalized request's placement: the owning peer's
+// address when the request must be forwarded, "" when it is served
+// locally.  Synchronous kinds are always local (they cost microseconds;
+// forwarding would cost more than answering).  The engine is pinned
+// onto the request here, before the key is hashed, so the owner — whose
+// default engine may differ — resolves the same key.
+//
+//nob:hotpath
+func (s *Server) routeOf(req *Request, forwarded bool) string {
+	c := s.cluster
+	if c == nil || forwarded || req.Kind.Sync() {
+		return ""
+	}
+	if req.Engine == "" {
+		req.Engine = s.engine.Name()
+	}
+	owner := c.ring.Owner(routeKey(*req, req.Engine))
+	if !c.routeOnly && owner == c.self {
+		return ""
+	}
+	return owner
+}
+
+// forward relays a request to its owning peer.  On a non-router node
+// the relay is read-through: concurrent forwards of the same key
+// coalesce on the replica store's single-flight, and a completed
+// document stays as a bounded local replica so the next request for a
+// hot entry is answered without a network hop.  Routers forward every
+// request directly.  The round trip deliberately runs under the
+// server's base context, not the originating request's — see
+// forwardCompute.
+func (c *clusterState) forward(owner string, req Request) (Response, int) {
+	if c.replicas == nil {
+		return deliver(c.forwardCompute(owner, req))
+	}
+	key := routeKey(req, req.Engine)
+	if out, err, ok := c.replicas.Peek(key); ok && err == nil {
+		out.resp.Cached = true
+		return out.resp, out.status
+	}
+	out, err := c.replicas.Get(key, func() (forwardOutcome, error) {
+		return c.forwardCompute(owner, req)
+	})
+	// Replicate only completed documents: errors, sheds and failures
+	// describe a moment, not the key, and must not be sticky.
+	c.replicas.ForgetIf(key, func(o forwardOutcome, err error) bool {
+		return err != nil || o.status != http.StatusOK || o.resp.Status != string(StatusDone)
+	})
+	return deliver(out, err)
+}
+
+// deliver maps a forward outcome (or transport error) onto the response
+// the entry node returns to its client.
+func deliver(out forwardOutcome, err error) (Response, int) {
+	if err != nil {
+		return Response{
+			Schema: ResponseSchema,
+			Status: string(StatusFailed),
+			Error:  err.Error(),
+		}, http.StatusBadGateway
+	}
+	return out.resp, out.status
+}
+
+// forwardCompute performs one forwarded round trip to the owner.  It
+// runs under the server's base context (not the originating request's),
+// so a read-through replication in flight survives its first
+// requester's disconnect and still lands for the coalesced joiners.
+// The request is pinned to Wait so the owner answers with the document
+// itself; owner-local job IDs never leak across nodes.
+func (c *clusterState) forwardCompute(owner string, req Request) (forwardOutcome, error) {
+	if c.inFlight.Add(1) > c.maxInFlight {
+		c.inFlight.Add(-1)
+		c.metrics.countShed("forwards")
+		return forwardOutcome{
+			resp: Response{
+				Schema:        ResponseSchema,
+				Status:        string(StatusFailed),
+				Error:         "too many in-flight forwards; retry later",
+				RetryAfterSec: 1,
+			},
+			status: http.StatusTooManyRequests,
+		}, nil
+	}
+	defer c.inFlight.Add(-1)
+	cl, ok := c.clients[owner]
+	if !ok {
+		return forwardOutcome{}, fmt.Errorf("no client for ring member %q", owner)
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.forwardTimeout)
+	defer cancel()
+	rq := req
+	rq.Wait = true
+	c.metrics.countForward(owner)
+	resp, status, retryAfter, err := cl.postAnalyzeOnce(ctx, rq)
+	if err != nil {
+		c.metrics.countForwardError(owner)
+		c.logger.Warn("forward failed", "peer", owner, "error", err.Error())
+		return forwardOutcome{}, fmt.Errorf("forwarding to %s: %w", owner, err)
+	}
+	if status == http.StatusTooManyRequests && resp.RetryAfterSec == 0 {
+		resp.RetryAfterSec = retryAfter
+	}
+	return forwardOutcome{resp: resp, status: status}, nil
+}
+
+// replicaStats exposes the replica cache's counters (zero when the node
+// keeps no replicas).
+func (c *clusterState) replicaStats() (CacheStats, bool) {
+	if c == nil || c.replicas == nil {
+		return CacheStats{}, false
+	}
+	return cacheStats(c.replicas), true
+}
+
+// ClusterSchema tags the GET /v1/cluster payload.
+const ClusterSchema = "nobld/cluster/v1"
+
+// PeerInfo is one peer's advisory health in the cluster view.
+type PeerInfo struct {
+	Addr string `json:"addr"`
+	// Self marks the answering node's own entry.
+	Self    bool `json:"self,omitempty"`
+	Healthy bool `json:"healthy"`
+	// LastSeenSec is seconds since the last successful probe; absent
+	// when the peer has never answered.
+	LastSeenSec float64 `json:"last_seen_sec,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Checks      uint64  `json:"checks"`
+}
+
+// Ownership is the ?key= lookup result: which node owns a cache key.
+type Ownership struct {
+	// Key is the looked-up key as given.
+	Key string `json:"key"`
+	// RouteKey is the engine-qualified form actually hashed.
+	RouteKey string `json:"route_key"`
+	Owner    string `json:"owner"`
+	// Local reports whether the answering node owns the key itself.
+	Local bool `json:"local"`
+}
+
+// ClusterResponse is the GET /v1/cluster payload: enough of the ring
+// configuration for a client to compute ownership itself (the
+// AnalyzeBatchRouted fast path), plus advisory peer health.
+type ClusterResponse struct {
+	Schema string `json:"schema"`
+	// Mode is "single", "node" or "router".
+	Mode string `json:"mode"`
+	Self string `json:"self,omitempty"`
+	// Engine is the node's default execution engine — the one pinned
+	// onto engine-less requests before their key is hashed.
+	Engine  string     `json:"engine"`
+	Seed    uint64     `json:"seed"`
+	VNodes  int        `json:"vnodes"`
+	Members []string   `json:"members,omitempty"`
+	Peers   []PeerInfo `json:"peers,omitempty"`
+	// Ownership is present when the request carried ?key=.
+	Ownership *Ownership `json:"ownership,omitempty"`
+}
+
+// handleCluster serves the cluster view.  It answers in every mode —
+// a single-node server reports mode "single" with no members, which
+// routing clients read as "just talk to me directly".
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.metrics.countRequest("cluster")
+	c := s.cluster
+	resp := ClusterResponse{
+		Schema: ClusterSchema,
+		Mode:   c.mode(),
+		Engine: s.engine.Name(),
+	}
+	if c != nil {
+		resp.Self = c.self
+		resp.Seed = c.seed
+		resp.VNodes = c.ring.VNodes()
+		resp.Members = c.ring.Members()
+		for _, st := range c.tracker.Status() {
+			pi := PeerInfo{Addr: st.Addr, Healthy: st.Healthy, Error: st.LastErr, Checks: st.Checks}
+			if !st.LastSeen.IsZero() {
+				pi.LastSeenSec = time.Since(st.LastSeen).Seconds()
+			}
+			resp.Peers = append(resp.Peers, pi)
+		}
+		if !c.routeOnly {
+			resp.Peers = append(resp.Peers, PeerInfo{Addr: c.self, Self: true, Healthy: true})
+		}
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		rk := key
+		if !strings.Contains(rk, "@") {
+			rk += "@" + s.engine.Name()
+		}
+		own := &Ownership{Key: key, RouteKey: rk}
+		if c != nil {
+			own.Owner = c.ring.Owner(rk)
+			own.Local = !c.routeOnly && own.Owner == c.self
+		} else {
+			own.Local = true
+		}
+		resp.Ownership = own
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// registerClusterGauges installs the cluster gauges; called from New
+// once the cluster state exists.
+func (s *Server) registerClusterGauges() {
+	c := s.cluster
+	reg := s.metrics.reg
+	reg.GaugeFunc("nobld_cluster_ring_size", "cache-owning members of the consistent-hash ring",
+		func() float64 { return float64(c.ring.Size()) })
+	reg.GaugeFunc("nobld_cluster_peers_healthy", "peers whose last health probe succeeded",
+		func() float64 { return float64(c.tracker.Healthy()) })
+	reg.GaugeFunc("nobld_cluster_forwards_inflight", "forwarded requests currently in flight",
+		func() float64 { return float64(c.inFlight.Load()) })
+	if c.replicas != nil {
+		registerCacheGauges(reg, "nobld_cluster_replica", func() CacheStats { return cacheStats(c.replicas) })
+	}
+}
+
+// countForward / countForwardError / countShed are the cluster counters.
+// Sheds cover both admission paths: "queue" (the scheduler's high-water
+// mark) and "forwards" (the in-flight forward gate).
+func (m *metrics) countForward(peer string) {
+	m.reg.Counter("nobld_cluster_forwards_total", "requests forwarded to owning peers",
+		obs.L("peer", peer)).Inc()
+}
+
+func (m *metrics) countForwardError(peer string) {
+	m.reg.Counter("nobld_cluster_forward_errors_total", "forwarded requests that failed in transit",
+		obs.L("peer", peer)).Inc()
+}
+
+func (m *metrics) countShed(reason string) {
+	m.reg.Counter("nobld_cluster_sheds_total", "requests shed by admission control",
+		obs.L("reason", reason)).Inc()
+}

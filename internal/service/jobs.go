@@ -174,6 +174,7 @@ type scheduler struct {
 	nextID    uint64
 	closed    bool
 	limit     int
+	admitHigh int // shed threshold; 0 disables admission control
 }
 
 // defaultJobRetention bounds how many finished jobs stay queryable.  A
@@ -183,12 +184,13 @@ type scheduler struct {
 // are pure history).
 const defaultJobRetention = 1024
 
-func newScheduler(limit int) *scheduler {
+func newScheduler(limit, admitHigh int) *scheduler {
 	s := &scheduler{
 		inflight:  map[string]*job{},
 		jobs:      map[string]*job{},
 		retention: defaultJobRetention,
 		limit:     limit,
+		admitHigh: admitHigh,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -210,6 +212,12 @@ func (s *scheduler) retire(j *job) {
 // errQueueFull is returned when the bounded queue rejects an enqueue.
 var errQueueFull = errors.New("job queue full")
 
+// errShed marks an admission-control rejection: the queue crossed the
+// high-water mark and the server asks the client to retry later (429 +
+// Retry-After) rather than pile on.  Distinct from errQueueFull, the
+// hard bound that still answers 503.
+var errShed = errors.New("server saturated, retry later")
+
 // enqueue registers a new job for key, or returns the already queued or
 // running job computing the same key (single-flight dedup of identical
 // in-flight requests).  created reports which happened.
@@ -227,6 +235,12 @@ func (s *scheduler) enqueue(key string, req Request, requestID string) (j *job, 
 			heap.Fix(&s.queue, existing.idx)
 		}
 		return existing, false, nil
+	}
+	// Admission order matters: dedup joins are checked first (they cost
+	// no queue slot and must always be admitted — a shed here would
+	// break single-flight), then the soft shed mark, then the hard bound.
+	if s.admitHigh > 0 && len(s.queue) >= s.admitHigh {
+		return nil, false, errShed
 	}
 	if s.limit > 0 && len(s.queue) >= s.limit {
 		return nil, false, errQueueFull

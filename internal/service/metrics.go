@@ -1,7 +1,9 @@
 package service
 
 import (
+	"math"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"netoblivious/internal/core"
@@ -33,7 +35,12 @@ type metrics struct {
 	jobsDone      *obs.Counter
 	jobsFailed    *obs.Counter
 	jobsCancelled *obs.Counter
-	jobsRejected  *obs.Counter // queue-full rejections
+	jobsRejected  *obs.Counter // queue-full and shed rejections
+
+	// queueWaitEWMA holds the float64 bits of an exponentially weighted
+	// moving average of queue waits (ms); admission control derives its
+	// Retry-After from it so the advice tracks the load actually observed.
+	queueWaitEWMA atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -61,10 +68,37 @@ func (m *metrics) observeLatency(algorithm string, d time.Duration) {
 }
 
 // observeQueueWait records the time a job spent queued before a worker
-// picked it up.
+// picked it up, both in the histogram and in the EWMA that prices
+// Retry-After.
 func (m *metrics) observeQueueWait(d time.Duration) {
 	m.reg.Histogram("nobld_queue_wait_ms", "time jobs spent queued before execution",
 		queueWaitBuckets).Observe(ms(d))
+	for {
+		old := m.queueWaitEWMA.Load()
+		next := ms(d)
+		if old != 0 {
+			next = 0.8*math.Float64frombits(old) + 0.2*next
+		}
+		if m.queueWaitEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSec turns the observed queue-wait EWMA into the Retry-After
+// a shed response advertises: roughly one average wait, clamped to
+// [1, 60] seconds so the advice is neither zero (retry storm) nor
+// absurd (client gives up).
+func (m *metrics) retryAfterSec() int {
+	ewmaMs := math.Float64frombits(m.queueWaitEWMA.Load())
+	sec := int(math.Ceil(ewmaMs / 1000))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // observeRun records one job execution's duration under its effective
@@ -163,6 +197,23 @@ type MetricsSnapshot struct {
 	// time by effective engine.
 	QueueWait HistogramSnapshot            `json:"queue_wait_ms"`
 	Runs      map[string]HistogramSnapshot `json:"run_ms"`
+	// Cluster summarizes the sharding tier; absent in single-node mode.
+	Cluster *ClusterCounters `json:"cluster,omitempty"`
+}
+
+// ClusterCounters summarizes the cluster subsystem in the JSON snapshot.
+type ClusterCounters struct {
+	Mode         string `json:"mode"`
+	RingSize     int    `json:"ring_size"`
+	PeersHealthy int    `json:"peers_healthy"`
+	// Forwards counts forwarded requests by owning peer; ForwardErrors
+	// the ones that failed in transit; Sheds the admission-control
+	// rejections by reason ("queue", "forwards").
+	Forwards      map[string]int64 `json:"forwards,omitempty"`
+	ForwardErrors map[string]int64 `json:"forward_errors,omitempty"`
+	Sheds         map[string]int64 `json:"sheds,omitempty"`
+	// Replicas is the read-through replica cache; absent on routers.
+	Replicas *CacheStats `json:"replica_cache,omitempty"`
 }
 
 // JobCounters summarizes the job subsystem.
@@ -245,6 +296,35 @@ func (s *Server) metricsSnapshot(osnap obs.Snapshot) MetricsSnapshot {
 		for _, ss := range f.Series {
 			snap.Runs[labelValue(ss, "engine")] = histogramJSON(ss)
 		}
+	}
+	if c := s.cluster; c != nil {
+		cc := &ClusterCounters{
+			Mode:         c.mode(),
+			RingSize:     c.ring.Size(),
+			PeersHealthy: c.tracker.Healthy(),
+		}
+		if f := osnap.Family("nobld_cluster_forwards_total"); f != nil {
+			cc.Forwards = map[string]int64{}
+			for _, ss := range f.Series {
+				cc.Forwards[labelValue(ss, "peer")] = int64(ss.Value)
+			}
+		}
+		if f := osnap.Family("nobld_cluster_forward_errors_total"); f != nil {
+			cc.ForwardErrors = map[string]int64{}
+			for _, ss := range f.Series {
+				cc.ForwardErrors[labelValue(ss, "peer")] = int64(ss.Value)
+			}
+		}
+		if f := osnap.Family("nobld_cluster_sheds_total"); f != nil {
+			cc.Sheds = map[string]int64{}
+			for _, ss := range f.Series {
+				cc.Sheds[labelValue(ss, "reason")] = int64(ss.Value)
+			}
+		}
+		if rs, ok := c.replicaStats(); ok {
+			cc.Replicas = &rs
+		}
+		snap.Cluster = cc
 	}
 	return snap
 }

@@ -3,11 +3,13 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +61,17 @@ type Config struct {
 	// server's work: job spans, trace-store hits and compute spans, and —
 	// through the store — every engine's per-superstep spans.
 	Probe *obs.Probe
+	// Cluster, when non-nil, makes the server one node of a sharded
+	// fleet (or a cacheless router): requests whose key hashes to
+	// another member are transparently forwarded to it.
+	Cluster *ClusterConfig
+	// AdmitQueueHigh is the admission-control high-water mark: enqueues
+	// arriving while this many jobs are already queued are shed with
+	// HTTP 429 and a Retry-After derived from observed queue waits.
+	// Joining an in-flight duplicate is always admitted (it costs no
+	// queue slot).  0 disables shedding; QueueLimit still applies as
+	// the hard 503 bound.
+	AdmitQueueHigh int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +123,14 @@ type Response struct {
 	Document *harness.Document `json:"document,omitempty"`
 	// Error is the failure message of a failed analysis.
 	Error string `json:"error,omitempty"`
+	// Code is the per-item HTTP status inside a batch response, so a
+	// routed batch can partially succeed: some items 200, a shed shard's
+	// items 429, a malformed item 400.  Single-request responses carry
+	// the status on the HTTP layer instead and leave Code zero.
+	Code int `json:"code,omitempty"`
+	// RetryAfterSec accompanies a 429 (shed) outcome: how long the
+	// client should back off, mirroring the Retry-After header.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // BatchRequest is the POST /v1/analyze/batch payload.
@@ -118,8 +139,12 @@ type BatchRequest struct {
 }
 
 // BatchResponse pairs each batch entry with its response, in order.
+// Succeeded and Failed count items by their per-item Code, so a caller
+// can see partial success without scanning.
 type BatchResponse struct {
 	Schema    string     `json:"schema"`
+	Succeeded int        `json:"succeeded"`
+	Failed    int        `json:"failed"`
 	Responses []Response `json:"responses"`
 }
 
@@ -174,6 +199,7 @@ type Server struct {
 	traces  *harness.TraceStore
 	sched   *scheduler
 	metrics *metrics
+	cluster *clusterState // nil in single-node mode
 	mux     *http.ServeMux
 	logger  *slog.Logger
 	probe   *obs.Probe
@@ -213,7 +239,7 @@ func New(cfg Config) (*Server, error) {
 		engine:  cfg.Engine,
 		results: core.NewBoundedStore[*harness.Document](cfg.CacheEntries),
 		traces:  traces,
-		sched:   newScheduler(cfg.QueueLimit),
+		sched:   newScheduler(cfg.QueueLimit, cfg.AdmitQueueHigh),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 		logger:  cfg.Logger,
@@ -222,6 +248,22 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.registerGauges()
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	if cfg.Cluster != nil {
+		cs, err := newClusterState(s, *cfg.Cluster)
+		if err != nil {
+			s.stop()
+			return nil, err
+		}
+		s.cluster = cs
+		if cs != nil {
+			s.registerClusterGauges()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				cs.tracker.Run(s.baseCtx)
+			}()
+		}
+	}
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -305,6 +347,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
@@ -324,9 +367,12 @@ func (s *Server) engineFor(req Request) core.Engine {
 }
 
 // requestKey namespaces the request's semantic key by the engine, since
-// the engine is part of what was executed.
+// the engine is part of what was executed.  It coincides with routeKey:
+// the local cache key and the cluster placement key are the same string,
+// which is what makes a forwarded miss land in the owner's cache under
+// the identity the whole fleet agrees on.
 func (s *Server) requestKey(req Request) string {
-	return req.Key() + "@" + s.engineFor(req).Name()
+	return routeKey(req, s.engineFor(req).Name())
 }
 
 // apiError is the JSON error body of every non-2xx response.
@@ -398,8 +444,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	resp, status := s.analyze(r.Context(), req)
+	resp, status := s.analyze(r.Context(), req, isForwarded(r))
+	if status == http.StatusTooManyRequests && resp.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfterSec))
+	}
 	writeJSON(w, status, resp)
+}
+
+// isForwarded reports whether the request already crossed one
+// forwarding hop; such requests are always served locally.
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(headerForwarded) != ""
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -414,44 +469,83 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := BatchResponse{Schema: "nobld/batch/v1", Responses: make([]Response, len(batch.Requests))}
-	// Two passes: enqueue every async miss first so the batch's jobs run
-	// concurrently across the worker pool, then wait for the waiters.
+	forwarded := isForwarded(r)
+	// Three lanes, so one bad or remote item never sinks the batch:
+	// forwards run concurrently (each is a network round trip to its
+	// owning shard), async misses are enqueued before any waiter blocks
+	// so the batch's jobs spread across the worker pool, and every item
+	// lands with its own per-item status code.
 	type pending struct {
 		idx int
 		j   *job
 	}
 	var waits []pending
-	for i, req := range batch.Requests {
-		resp, _ := s.analyzeStart(r.Context(), &req)
-		if resp != nil {
+	var fwd sync.WaitGroup
+	for i := range batch.Requests {
+		req := batch.Requests[i]
+		if err := req.normalize(); err != nil {
+			out.Responses[i] = Response{Schema: ResponseSchema, Status: string(StatusFailed),
+				Error: err.Error(), Code: http.StatusBadRequest}
+			continue
+		}
+		if owner := s.routeOf(&req, forwarded); owner != "" {
+			fwd.Add(1)
+			go func(i int, owner string, req Request) {
+				defer fwd.Done()
+				resp, status := s.cluster.forward(owner, req)
+				resp.Code = status
+				out.Responses[i] = resp
+			}(i, owner, req)
+			continue
+		}
+		if resp, status := s.analyzeStart(r.Context(), &req); resp != nil {
+			resp.Code = status
 			out.Responses[i] = *resp
 			continue
 		}
-		j, resp2 := s.startJob(r.Context(), req)
+		j, resp, status := s.startJob(r.Context(), req)
 		if j == nil {
-			out.Responses[i] = *resp2
+			resp.Code = status
+			out.Responses[i] = *resp
 			continue
 		}
 		if req.Wait {
 			waits = append(waits, pending{idx: i, j: j})
 		} else {
-			out.Responses[i] = Response{Schema: ResponseSchema, Status: string(jobStatus(j)), JobID: j.id}
+			out.Responses[i] = Response{Schema: ResponseSchema, Status: string(jobStatus(j)),
+				JobID: j.id, Code: http.StatusAccepted}
 		}
 	}
 	for _, p := range waits {
-		out.Responses[p.idx] = s.awaitJob(r.Context(), p.j)
+		resp := s.awaitJob(r.Context(), p.j)
+		resp.Code = http.StatusOK
+		out.Responses[p.idx] = resp
+	}
+	fwd.Wait()
+	for i := range out.Responses {
+		if out.Responses[i].Code >= 400 {
+			out.Failed++
+		} else {
+			out.Succeeded++
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 // analyze serves one request and returns its response plus HTTP status.
-func (s *Server) analyze(ctx context.Context, req Request) (Response, int) {
+func (s *Server) analyze(ctx context.Context, req Request, forwarded bool) (Response, int) {
+	if err := req.normalize(); err != nil {
+		return Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: err.Error()}, http.StatusBadRequest
+	}
+	if owner := s.routeOf(&req, forwarded); owner != "" {
+		return s.cluster.forward(owner, req)
+	}
 	if resp, status := s.analyzeStart(ctx, &req); resp != nil {
 		return *resp, status
 	}
-	j, resp := s.startJob(ctx, req)
+	j, resp, status := s.startJob(ctx, req)
 	if j == nil {
-		return *resp, http.StatusServiceUnavailable
+		return *resp, status
 	}
 	if req.Wait {
 		return s.awaitJob(ctx, j), http.StatusOK
@@ -460,7 +554,9 @@ func (s *Server) analyze(ctx context.Context, req Request) (Response, int) {
 }
 
 // analyzeStart handles validation, synchronous kinds and cache hits; a
-// nil response means the caller must start (or join) a job.
+// nil response means the caller must start (or join) a job.  Routing
+// happens before this point — a request reaching analyzeStart is served
+// by this node.
 func (s *Server) analyzeStart(ctx context.Context, req *Request) (*Response, int) {
 	if err := req.normalize(); err != nil {
 		return &Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: err.Error()}, http.StatusBadRequest
@@ -485,14 +581,23 @@ func (s *Server) analyzeStart(ctx context.Context, req *Request) (*Response, int
 
 // startJob enqueues (or joins) the job computing req's key.  A created
 // job inherits the request's correlation ID; a joined one keeps the ID
-// of the request that created it (the job ran for that one).
-func (s *Server) startJob(ctx context.Context, req Request) (*job, *Response) {
+// of the request that created it (the job ran for that one).  A nil job
+// comes back with the rejection response and its HTTP status: 429 with
+// a Retry-After when admission control shed the request, 503 when the
+// hard queue bound rejected it.
+func (s *Server) startJob(ctx context.Context, req Request) (*job, *Response, int) {
 	rid := requestIDFrom(ctx)
 	j, created, err := s.sched.enqueue(s.requestKey(req), req, rid)
 	if err != nil {
 		s.metrics.jobsRejected.Add(1)
 		s.logger.Warn("job rejected", "request_id", rid, "error", err.Error())
-		return nil, &Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: err.Error()}
+		resp := &Response{Schema: ResponseSchema, Status: string(StatusFailed), Error: err.Error()}
+		if errors.Is(err, errShed) {
+			resp.RetryAfterSec = s.metrics.retryAfterSec()
+			s.metrics.countShed("queue")
+			return nil, resp, http.StatusTooManyRequests
+		}
+		return nil, resp, http.StatusServiceUnavailable
 	}
 	if created {
 		j.publish("queued", fmt.Sprintf("priority=%d", req.Priority))
@@ -504,7 +609,7 @@ func (s *Server) startJob(ctx context.Context, req Request) (*job, *Response) {
 			"n", j.req.N,
 			"priority", j.req.Priority)
 	}
-	return j, nil
+	return j, nil, 0
 }
 
 // awaitJob blocks until the job finishes or the request context is

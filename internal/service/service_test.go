@@ -558,7 +558,7 @@ func TestQueueLimitRejects(t *testing.T) {
 // TestPriorityOrdering: the scheduler pops by priority (higher first),
 // FIFO within a priority.
 func TestPriorityOrdering(t *testing.T) {
-	sched := newScheduler(0)
+	sched := newScheduler(0, 0)
 	keys := []struct {
 		key string
 		pri int
@@ -603,7 +603,7 @@ func TestPriorityOrdering(t *testing.T) {
 // retention bound, so the id registry cannot grow forever in a
 // long-running daemon; live jobs are never evicted.
 func TestJobRetentionBounded(t *testing.T) {
-	sched := newScheduler(0)
+	sched := newScheduler(0, 0)
 	sched.retention = 3
 	for i := 0; i < 10; i++ {
 		j, _, err := sched.enqueue(string(rune('a'+i)), Request{}, "")
